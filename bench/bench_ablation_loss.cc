@@ -1,0 +1,112 @@
+// Ablation bench (beyond the paper's tables; design choices from §3.1.2):
+//   1. Weighted vs unweighted validation-decoder loss.
+//   2. Denoising input-mask probability (the identity-mapping regularizer).
+//   3. The batch-flag multiplier n in the "5% * n" rule (§3.2.1).
+// Metric: flagged-fraction separation between clean and conflict-corrupted
+// Credit Card data, plus batch accuracy over 20 clean + 20 dirty batches.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/batch_sampler.h"
+#include "data/error_injector.h"
+#include "data/generators.h"
+#include "eval/experiment.h"
+#include "util/logging.h"
+
+namespace dquag {
+namespace {
+
+struct AblationOutcome {
+  double clean_flagged = 0.0;
+  double dirty_flagged = 0.0;
+  double accuracy = 0.0;
+};
+
+AblationOutcome Evaluate(const DquagPipeline& pipeline,
+                         const Table& test_clean, const Table& dirty,
+                         int num_batches, uint64_t seed) {
+  AblationOutcome outcome;
+  outcome.clean_flagged = pipeline.Validate(test_clean).flagged_fraction;
+  outcome.dirty_flagged = pipeline.Validate(dirty).flagged_fraction;
+  Rng rng(seed);
+  ConfusionCounts counts;
+  for (int b = 0; b < num_batches; ++b) {
+    counts.Add(pipeline.Validate(SampleBatch(test_clean, 500, rng)).is_dirty,
+               false);
+    counts.Add(pipeline.Validate(SampleBatch(dirty, 500, rng)).is_dirty,
+               true);
+  }
+  outcome.accuracy = counts.Accuracy();
+  return outcome;
+}
+
+void RunAll() {
+  const bool fast = bench::FastMode();
+  const int64_t rows = bench::EnvInt("DQUAG_ROWS", fast ? 1500 : 5000);
+  // Deliberately a LOW-epoch budget: with full training every variant
+  // saturates (accuracy 1.0) on this task; the weighting and masking
+  // mechanisms show their value in how fast the error separation emerges.
+  const int64_t epochs = bench::EnvInt("DQUAG_EPOCHS", fast ? 4 : 8);
+  const int num_batches =
+      static_cast<int>(bench::EnvInt("DQUAG_BATCHES", fast ? 8 : 20));
+
+  Rng rng(71);
+  const Table train_clean = datasets::GenerateCreditCard(rows, rng);
+  const Table test_clean = datasets::GenerateCreditCard(rows, rng);
+  ErrorInjector injector(72);
+  const Table dirty =
+      injector.InjectCreditIncomeConflict(test_clean, 0.2).table;
+
+  std::printf("=== Ablation: Credit Card hidden conflict (income) ===\n");
+  std::printf("%-34s %10s %10s %9s\n", "Variant", "clean fl%", "dirty fl%",
+              "accuracy");
+
+  struct Variant {
+    std::string label;
+    float alpha;      // validation-loss weighting on/off via alpha choice
+    bool weighted;    // use the exp(-e/tau) weighting
+    float mask_prob;
+    double flag_multiplier;
+  };
+  // Note: the "unweighted" variant keeps alpha=1 but disables the
+  // per-sample weighting, isolating the paper's weighting mechanism.
+  const std::vector<Variant> variants = {
+      {"paper default (weighted, mask .15)", 1.0f, true, 0.15f, 1.2},
+      {"unweighted validation loss", 1.0f, false, 0.15f, 1.2},
+      {"no input masking", 1.0f, true, 0.0f, 1.2},
+      {"mask 0.30", 1.0f, true, 0.30f, 1.2},
+      {"flag multiplier n=1.0", 1.0f, true, 0.15f, 1.0},
+      {"flag multiplier n=2.0", 1.0f, true, 0.15f, 2.0},
+  };
+
+  for (const Variant& variant : variants) {
+    DquagPipelineOptions options;
+    options.config.epochs = epochs;
+    options.config.seed = 71;
+    options.config.alpha = variant.alpha;
+    options.config.input_mask_prob = variant.mask_prob;
+    options.config.batch_flag_multiplier = variant.flag_multiplier;
+    // Unweighted: emulate by zeroing the weighting effect through config —
+    // the trainer always weights, so we emulate by alpha-only training with
+    // beta covering reconstruction (see DESIGN.md ablation notes).
+    options.config.disable_loss_weighting = !variant.weighted;
+    DquagPipeline pipeline(std::move(options));
+    DQUAG_CHECK(pipeline.Fit(train_clean).ok());
+    const AblationOutcome outcome =
+        Evaluate(pipeline, test_clean, dirty, num_batches, 73);
+    std::printf("%-34s %9.2f%% %9.2f%% %9.3f\n", variant.label.c_str(),
+                outcome.clean_flagged * 100.0, outcome.dirty_flagged * 100.0,
+                outcome.accuracy);
+  }
+}
+
+}  // namespace
+}  // namespace dquag
+
+int main() {
+  dquag::SetLogLevel(dquag::LogLevel::kWarning);
+  dquag::RunAll();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces Figure 3: accuracy of all methods on the Airbnb, Chicago Divvy
+// Bicycle, and Google Play datasets with real-world-style errors (§4.3).
+//
+// The three datasets come in clean and dirty versions; the dirty versions
+// carry heterogeneous real-world dirt (impossible prices, dock faults,
+// rating-19 row shifts, typos, missing cells, conflicting attribute pairs).
+// 50 clean and 50 dirty batches (10% samples) are classified per dataset.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "baselines/adqv.h"
+#include "baselines/deequ.h"
+#include "baselines/gate.h"
+#include "baselines/tfdv.h"
+#include "bench_util.h"
+#include "data/generators.h"
+#include "eval/experiment.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace dquag {
+namespace {
+
+void RunDataset(
+    const std::string& name,
+    const std::function<Table(int64_t, Rng&)>& generate_clean,
+    const std::function<Table(const Table&, Rng&, std::vector<bool>*)>&
+        corrupt,
+    int64_t rows, int64_t epochs, int num_batches, uint64_t seed) {
+  std::printf("\n=== Figure 3: %s (real-world errors) ===\n", name.c_str());
+  Rng rng(seed);
+  // Paper protocol: the clean and dirty dataset versions share their rows
+  // (the dirty version is the uncleaned original); batches are 10% samples
+  // of each version.
+  const Table train_clean = generate_clean(rows, rng);
+  const Table& test_clean = train_clean;
+  const Table dirty = corrupt(train_clean, rng, nullptr);
+
+  DeequValidator deequ_auto(BaselineMode::kAuto);
+  DeequValidator deequ_expert(BaselineMode::kExpert);
+  TfdvValidator tfdv_auto(BaselineMode::kAuto);
+  TfdvValidator tfdv_expert(BaselineMode::kExpert);
+  AdqvValidator adqv;
+  GateValidator gate;
+  DquagPipelineOptions options;
+  options.config.epochs = epochs;
+  options.config.seed = seed;
+  // The paper tunes the batch-flag multiplier n "based on observed
+  // reconstruction errors after deployment" (§3.2.1; they use 1.2 at ~100k
+  // rows). Our datasets are ~6k rows, so 10% batches carry ~4x more
+  // binomial noise around the 5% base rate; n = 1.5 absorbs it.
+  options.config.batch_flag_multiplier = bench::EnvDouble("DQUAG_FLAG_N", 1.5);
+  DquagBatchValidator dquag(std::move(options));
+
+  std::vector<BatchValidator*> methods = {&dquag,      &adqv,
+                                          &deequ_auto, &deequ_expert,
+                                          &tfdv_auto,  &tfdv_expert, &gate};
+  Stopwatch fit_time;
+  for (BatchValidator* m : methods) m->Fit(train_clean);
+  std::printf("[fit all methods on %lld clean rows: %.1fs]\n",
+              static_cast<long long>(rows), fit_time.ElapsedSeconds());
+
+  Rng batch_rng(seed + 29);
+  const BatchSets sets =
+      MakeBatchSets(test_clean, dirty, num_batches, 0.1, batch_rng);
+  std::vector<MethodResult> results;
+  for (BatchValidator* m : methods) {
+    results.push_back(EvaluateValidator(*m, sets));
+  }
+  PrintResultTable(name + " - Accuracy", results);
+}
+
+void RunAll() {
+  const bool fast = bench::FastMode();
+  const int64_t rows = bench::EnvInt("DQUAG_ROWS", fast ? 1500 : 6000);
+  const int64_t epochs = bench::EnvInt("DQUAG_EPOCHS", fast ? 6 : 20);
+  const int num_batches =
+      static_cast<int>(bench::EnvInt("DQUAG_BATCHES", fast ? 10 : 50));
+
+  RunDataset("Airbnb", datasets::GenerateAirbnbClean,
+             datasets::CorruptAirbnb, rows, epochs, num_batches, 101);
+  RunDataset("Bicycle", datasets::GenerateBicycleClean,
+             datasets::CorruptBicycle, rows, epochs, num_batches, 103);
+  RunDataset("App (Google Play)", datasets::GenerateGooglePlayClean,
+             datasets::CorruptGooglePlay, rows, epochs, num_batches, 107);
+}
+
+}  // namespace
+}  // namespace dquag
+
+int main() {
+  dquag::SetLogLevel(dquag::LogLevel::kWarning);
+  dquag::RunAll();
+  return 0;
+}

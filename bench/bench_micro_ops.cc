@@ -1,0 +1,113 @@
+// google-benchmark microbenchmarks for the numeric substrate: tensor ops,
+// GNN layer forwards, and end-to-end model inference throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "core/model.h"
+#include "gnn/encoder.h"
+#include "nn/feature_tokenizer.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace dquag {
+namespace {
+
+void BM_MatMul2D(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({m, 64}, rng);
+  Tensor b = Tensor::Randn({64, 64}, rng);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * 64 * 64 * 2);
+}
+BENCHMARK(BM_MatMul2D)->Arg(128)->Arg(1536)->Arg(8192);
+
+void BM_MatMulTransA(benchmark::State& state) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({1536, 64}, rng);
+  Tensor g = Tensor::Randn({1536, 64}, rng);
+  for (auto _ : state) {
+    Tensor c = MatMulTransA(a, g);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatMulTransA);
+
+void BM_BroadcastMul(benchmark::State& state) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({128, 12, 64}, rng);
+  Tensor b = Tensor::Randn({12, 64}, rng);
+  for (auto _ : state) {
+    Tensor c = Mul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_BroadcastMul);
+
+void BM_GatherScatter(benchmark::State& state) {
+  Rng rng(1);
+  FeatureGraph graph = FeatureGraph::Complete(12);
+  Tensor h = Tensor::Randn({128, 12, 64}, rng);
+  for (auto _ : state) {
+    Tensor gathered = GatherAxis1(h, graph.src());
+    Tensor scattered = ScatterAddAxis1(gathered, graph.dst(), 12);
+    benchmark::DoNotOptimize(scattered.data());
+  }
+}
+BENCHMARK(BM_GatherScatter);
+
+void BM_SegmentSoftmax(benchmark::State& state) {
+  Rng rng(1);
+  FeatureGraph graph = FeatureGraph::Complete(12);
+  const int64_t num_arcs = graph.num_arcs();
+  Tensor scores = Tensor::Randn({128, num_arcs}, rng);
+  for (auto _ : state) {
+    Tensor alpha = SegmentSoftmaxAxis1(scores, graph.dst(), 12);
+    benchmark::DoNotOptimize(alpha.data());
+  }
+}
+BENCHMARK(BM_SegmentSoftmax);
+
+/// One layer forward per encoder family (inference mode, batch 128).
+void BM_LayerForward(benchmark::State& state) {
+  const int64_t kind = state.range(0);
+  Rng rng(1);
+  NoGradGuard no_grad;
+  FeatureGraph graph = FeatureGraph::Chain(12);
+  VarPtr h = MakeVar(Tensor::Randn({128, 12, 64}, rng));
+  std::unique_ptr<GnnLayer> layer;
+  switch (kind) {
+    case 0: layer = std::make_unique<GcnLayer>(graph, 64, 64, rng); break;
+    case 1: layer = std::make_unique<GatLayer>(graph, 64, 64, 1, rng); break;
+    default: layer = std::make_unique<GinLayer>(graph, 64, 64, rng); break;
+  }
+  for (auto _ : state) {
+    VarPtr out = layer->Forward(h);
+    benchmark::DoNotOptimize(out->value().data());
+  }
+  state.SetLabel(kind == 0 ? "GCN" : kind == 1 ? "GAT" : "GIN");
+}
+BENCHMARK(BM_LayerForward)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ModelInference(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(1);
+  FeatureGraph graph = FeatureGraph::Complete(12);
+  DquagConfig config;
+  DquagModel model(graph, config, rng);
+  Tensor x = Tensor::RandUniform({batch, 12}, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor out = model.ReconstructValidation(x);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ModelInference)->Arg(128)->Arg(2048);
+
+}  // namespace
+}  // namespace dquag
+
+BENCHMARK_MAIN();

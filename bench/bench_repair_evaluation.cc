@@ -1,0 +1,87 @@
+// Reproduces §4.6: data repair evaluation on Airbnb and Bicycle.
+//
+// Paper numbers: Airbnb dirty error rate 10.52% -> 4.97% after repair
+// (clean data sits at 4.95% because the threshold is the 95th percentile);
+// Bicycle 21.11% -> 2.75%; the repaired datasets are classified clean.
+// "Error rate" is the fraction of instances whose reconstruction error
+// exceeds e_threshold.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/generators.h"
+#include "eval/experiment.h"
+#include "util/logging.h"
+
+namespace dquag {
+namespace {
+
+void RunDataset(
+    const std::string& name,
+    const std::function<Table(int64_t, Rng&)>& generate_clean,
+    const std::function<Table(const Table&, Rng&, std::vector<bool>*)>&
+        corrupt,
+    int64_t rows, int64_t epochs, uint64_t seed) {
+  Rng rng(seed);
+  const Table train_clean = generate_clean(rows, rng);
+  const Table& test_clean = train_clean;
+  std::vector<bool> corrupted;
+  const Table dirty = corrupt(train_clean, rng, &corrupted);
+  int64_t truly_dirty = 0;
+  for (bool flag : corrupted) truly_dirty += flag ? 1 : 0;
+
+  DquagPipelineOptions options;
+  options.config.epochs = epochs;
+  options.config.seed = seed;
+  // The paper tunes the batch-flag multiplier n "based on observed
+  // reconstruction errors after deployment" (§3.2.1; they use 1.2 at ~100k
+  // rows). Our datasets are ~6k rows, so 10% batches carry ~4x more
+  // binomial noise around the 5% base rate; n = 1.5 absorbs it.
+  options.config.batch_flag_multiplier = bench::EnvDouble("DQUAG_FLAG_N", 1.5);
+  DquagPipeline pipeline(std::move(options));
+  DQUAG_CHECK(pipeline.Fit(train_clean).ok());
+
+  const BatchVerdict clean_verdict = pipeline.Validate(test_clean);
+  const BatchVerdict dirty_verdict = pipeline.Validate(dirty);
+  RepairResult repair = pipeline.Repair(dirty, dirty_verdict);
+  const BatchVerdict repaired_verdict = pipeline.Validate(repair.repaired);
+
+  std::printf("\n--- %s ---\n", name.c_str());
+  std::printf("injected corruption rate:        %6.2f%%\n",
+              100.0 * static_cast<double>(truly_dirty) /
+                  static_cast<double>(rows));
+  std::printf("clean data error rate:           %6.2f%%\n",
+              clean_verdict.flagged_fraction * 100.0);
+  std::printf("dirty data error rate:           %6.2f%%  -> %s\n",
+              dirty_verdict.flagged_fraction * 100.0,
+              dirty_verdict.is_dirty ? "DIRTY" : "clean");
+  std::printf("after repair error rate:         %6.2f%%  -> %s\n",
+              repaired_verdict.flagged_fraction * 100.0,
+              repaired_verdict.is_dirty ? "DIRTY" : "clean");
+  std::printf("cells repaired: %lld in %lld instances\n",
+              static_cast<long long>(repair.cells_repaired),
+              static_cast<long long>(repair.instances_repaired));
+}
+
+void RunAll() {
+  const bool fast = bench::FastMode();
+  const int64_t rows = bench::EnvInt("DQUAG_ROWS", fast ? 1500 : 6000);
+  const int64_t epochs = bench::EnvInt("DQUAG_EPOCHS", fast ? 6 : 20);
+
+  std::printf("=== Repair evaluation (paper §4.6) ===\n");
+  RunDataset("Airbnb", datasets::GenerateAirbnbClean,
+             datasets::CorruptAirbnb, rows, epochs, /*seed=*/401);
+  RunDataset("Bicycle", datasets::GenerateBicycleClean,
+             datasets::CorruptBicycle, rows, epochs, /*seed=*/409);
+}
+
+}  // namespace
+}  // namespace dquag
+
+int main() {
+  dquag::SetLogLevel(dquag::LogLevel::kWarning);
+  dquag::RunAll();
+  return 0;
+}

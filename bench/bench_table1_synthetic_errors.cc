@@ -1,0 +1,176 @@
+// Reproduces Table 1: accuracy and recall of Deequ auto/expert, TFDV
+// auto/expert, ADQV, Gate, and DQuaG on the Hotel Booking and Credit Card
+// datasets under synthetic ordinary errors (N = numeric anomalies,
+// S = string typos, M = missing values; 20% of values in three attributes)
+// and hidden logical/temporal conflicts (§4.1.2, §4.2).
+//
+// Protocol (§4.2): every method is fitted on the clean dataset; 50 clean and
+// 50 dirty batches (10% samples) are classified per error type.
+//
+// Environment knobs: DQUAG_EPOCHS, DQUAG_ROWS, DQUAG_BATCHES,
+// DQUAG_BENCH_FAST=1 (small smoke run).
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "baselines/adqv.h"
+#include "baselines/deequ.h"
+#include "baselines/gate.h"
+#include "baselines/tfdv.h"
+#include "bench_util.h"
+#include "data/error_injector.h"
+#include "data/generators.h"
+#include "eval/experiment.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace dquag {
+namespace {
+
+struct ErrorScenario {
+  std::string label;
+  std::function<Table(const Table&, ErrorInjector&)> corrupt;
+};
+
+struct Fleet {
+  DeequValidator deequ_auto{BaselineMode::kAuto};
+  DeequValidator deequ_expert{BaselineMode::kExpert};
+  TfdvValidator tfdv_auto{BaselineMode::kAuto};
+  TfdvValidator tfdv_expert{BaselineMode::kExpert};
+  AdqvValidator adqv;
+  GateValidator gate;
+  DquagBatchValidator dquag;
+
+  explicit Fleet(DquagPipelineOptions options)
+      : dquag(std::move(options)) {}
+
+  std::vector<BatchValidator*> All() {
+    return {&deequ_auto, &deequ_expert, &tfdv_auto, &tfdv_expert, &adqv,
+            &gate, &dquag};
+  }
+};
+
+void RunDataset(const std::string& dataset_name,
+                const std::function<Table(int64_t, Rng&)>& generate,
+                const std::vector<ErrorScenario>& scenarios, int64_t rows,
+                int64_t epochs, int num_batches, uint64_t seed) {
+  std::printf("\n=== Table 1: %s ===\n", dataset_name.c_str());
+  Rng rng(seed);
+  // Paper protocol (§4.2): batches are 10% samples of the clean dataset
+  // itself, and the dirty dataset is that same dataset with injected
+  // errors.
+  const Table train_clean = generate(rows, rng);
+  const Table& test_clean = train_clean;
+
+  DquagPipelineOptions options;
+  options.config.epochs = epochs;
+  options.config.seed = seed;
+  // The paper tunes the batch-flag multiplier n "based on observed
+  // reconstruction errors after deployment" (§3.2.1; they use 1.2 at ~100k
+  // rows). Our datasets are ~6k rows, so 10% batches carry ~4x more
+  // binomial noise around the 5% base rate; n = 1.5 absorbs it.
+  options.config.batch_flag_multiplier = bench::EnvDouble("DQUAG_FLAG_N", 1.5);
+  Fleet fleet(std::move(options));
+
+  Stopwatch fit_time;
+  for (BatchValidator* validator : fleet.All()) validator->Fit(train_clean);
+  std::printf("[fit all methods on %lld clean rows: %.1fs]\n",
+              static_cast<long long>(rows), fit_time.ElapsedSeconds());
+
+  for (const ErrorScenario& scenario : scenarios) {
+    ErrorInjector injector(seed ^ std::hash<std::string>{}(scenario.label));
+    const Table dirty = scenario.corrupt(test_clean, injector);
+    Rng batch_rng(seed + 17);
+    const BatchSets sets =
+        MakeBatchSets(test_clean, dirty, num_batches, 0.1, batch_rng);
+    std::vector<MethodResult> results;
+    for (BatchValidator* validator : fleet.All()) {
+      results.push_back(EvaluateValidator(*validator, sets));
+    }
+    PrintResultTable(dataset_name + " / " + scenario.label, results);
+  }
+}
+
+void RunAll() {
+  const bool fast = bench::FastMode();
+  const int64_t rows = bench::EnvInt("DQUAG_ROWS", fast ? 1500 : 6000);
+  const int64_t epochs = bench::EnvInt("DQUAG_EPOCHS", fast ? 6 : 20);
+  const int num_batches =
+      static_cast<int>(bench::EnvInt("DQUAG_BATCHES", fast ? 10 : 50));
+
+  // --- Hotel Booking: ordinary errors + the Group/adults/babies conflict.
+  std::vector<ErrorScenario> hotel_scenarios = {
+      {"N (numeric anomalies)",
+       [](const Table& t, ErrorInjector& inj) {
+         return inj
+             .InjectNumericAnomalies(
+                 t, {"lead_time", "adr", "stays_in_week_nights"}, 0.2)
+             .table;
+       }},
+      {"S (string typos)",
+       [](const Table& t, ErrorInjector& inj) {
+         return inj.InjectTypos(t, {"hotel", "meal", "arrival_month"}, 0.2)
+             .table;
+       }},
+      {"M (missing values)",
+       [](const Table& t, ErrorInjector& inj) {
+         return inj.InjectMissing(t, {"lead_time", "adr", "meal"}, 0.2)
+             .table;
+       }},
+      {"Conflicts (Group/adults/babies)",
+       [](const Table& t, ErrorInjector& inj) {
+         return inj.InjectHotelGroupConflict(t, 0.2).table;
+       }},
+  };
+  RunDataset("Hotel Booking", datasets::GenerateHotelBooking,
+             hotel_scenarios, rows, epochs, num_batches, /*seed=*/11);
+
+  // --- Credit Card: ordinary errors + the two hidden conflicts.
+  std::vector<ErrorScenario> credit_scenarios = {
+      {"N (numeric anomalies)",
+       [](const Table& t, ErrorInjector& inj) {
+         return inj
+             .InjectNumericAnomalies(
+                 t, {"AMT_INCOME_TOTAL", "DAYS_BIRTH", "CNT_CHILDREN"}, 0.2)
+             .table;
+       }},
+      {"S (string typos)",
+       [](const Table& t, ErrorInjector& inj) {
+         return inj
+             .InjectTypos(t,
+                          {"NAME_EDUCATION_TYPE", "OCCUPATION_TYPE",
+                           "NAME_FAMILY_STATUS"},
+                          0.2)
+             .table;
+       }},
+      {"M (missing values)",
+       [](const Table& t, ErrorInjector& inj) {
+         return inj
+             .InjectMissing(
+                 t, {"AMT_INCOME_TOTAL", "OCCUPATION_TYPE", "DAYS_EMPLOYED"},
+                 0.2)
+             .table;
+       }},
+      {"Conflicts-1 (employment before birth)",
+       [](const Table& t, ErrorInjector& inj) {
+         return inj.InjectCreditEmploymentConflict(t, 0.2).table;
+       }},
+      {"Conflicts-2 (education/occupation vs income)",
+       [](const Table& t, ErrorInjector& inj) {
+         return inj.InjectCreditIncomeConflict(t, 0.2).table;
+       }},
+  };
+  RunDataset("Credit Card", datasets::GenerateCreditCard, credit_scenarios,
+             rows, epochs, num_batches, /*seed=*/13);
+}
+
+}  // namespace
+}  // namespace dquag
+
+int main() {
+  dquag::SetLogLevel(dquag::LogLevel::kWarning);
+  dquag::RunAll();
+  return 0;
+}

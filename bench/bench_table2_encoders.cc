@@ -1,0 +1,88 @@
+// Reproduces Table 2: encoder-architecture comparison (§4.4).
+//
+// For each encoder in {Graph2Vec, GCN, GCN+GAT, GCN+GIN, GAT+GIN} a model is
+// trained on the clean Airbnb / Bicycle data (4 layers, hidden 64, lr 0.01,
+// batch 128) and the metric is the DIFFERENCE (percentage points) between
+// the fraction of instances flagged on dirty data and on clean data —
+// larger = better separation of clean from dirty.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/generators.h"
+#include "eval/experiment.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace dquag {
+namespace {
+
+double FlaggedFraction(const DquagPipeline& pipeline, const Table& table) {
+  return pipeline.Validate(table).flagged_fraction;
+}
+
+void RunDataset(
+    const std::string& name,
+    const std::function<Table(int64_t, Rng&)>& generate_clean,
+    const std::function<Table(const Table&, Rng&, std::vector<bool>*)>&
+        corrupt,
+    int64_t rows, int64_t epochs, uint64_t seed) {
+  std::printf("\n=== Table 2: %s ===\n", name.c_str());
+  std::printf("%-12s %12s %12s %14s\n", "Encoder", "clean flag%",
+              "dirty flag%", "difference pp");
+
+  const std::vector<EncoderKind> encoders = {
+      EncoderKind::kGraph2Vec, EncoderKind::kGcn, EncoderKind::kGcnGat,
+      EncoderKind::kGcnGin, EncoderKind::kGatGin};
+
+  Rng rng(seed);
+  const Table train_clean = generate_clean(rows, rng);
+  const Table& test_clean = train_clean;
+  const Table dirty = corrupt(train_clean, rng, nullptr);
+
+  for (EncoderKind kind : encoders) {
+    DquagPipelineOptions options;
+    options.config.encoder.kind = kind;
+    options.config.epochs = epochs;
+    options.config.seed = seed;
+    // The paper tunes the batch-flag multiplier n "based on observed
+    // reconstruction errors after deployment" (§3.2.1; they use 1.2 at ~100k
+    // rows). Our datasets are ~6k rows, so 10% batches carry ~4x more
+    // binomial noise around the 5% base rate; n = 1.5 absorbs it.
+    options.config.batch_flag_multiplier =
+        bench::EnvDouble("DQUAG_FLAG_N", 1.5);
+    DquagPipeline pipeline(std::move(options));
+    Stopwatch fit_time;
+    const Status status = pipeline.Fit(train_clean);
+    DQUAG_CHECK(status.ok());
+    const double clean_flagged = FlaggedFraction(pipeline, test_clean);
+    const double dirty_flagged = FlaggedFraction(pipeline, dirty);
+    std::printf("%-12s %11.2f%% %11.2f%% %13.2f  [fit %.0fs]\n",
+                EncoderKindName(kind).c_str(), clean_flagged * 100.0,
+                dirty_flagged * 100.0,
+                (dirty_flagged - clean_flagged) * 100.0,
+                fit_time.ElapsedSeconds());
+  }
+}
+
+void RunAll() {
+  const bool fast = bench::FastMode();
+  const int64_t rows = bench::EnvInt("DQUAG_ROWS", fast ? 1200 : 5000);
+  const int64_t epochs = bench::EnvInt("DQUAG_EPOCHS", fast ? 5 : 15);
+
+  RunDataset("Airbnb", datasets::GenerateAirbnbClean,
+             datasets::CorruptAirbnb, rows, epochs, /*seed=*/211);
+  RunDataset("Bicycle", datasets::GenerateBicycleClean,
+             datasets::CorruptBicycle, rows, epochs, /*seed=*/223);
+}
+
+}  // namespace
+}  // namespace dquag
+
+int main() {
+  dquag::SetLogLevel(dquag::LogLevel::kWarning);
+  dquag::RunAll();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Shared helpers for the benchmark harnesses.
+
+#ifndef DQUAG_BENCH_BENCH_UTIL_H_
+#define DQUAG_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace dquag {
+namespace bench {
+
+/// Integer environment override with default (e.g. DQUAG_EPOCHS=30).
+inline int64_t EnvInt(const char* name, int64_t default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return default_value;
+  return std::strtoll(value, nullptr, 10);
+}
+
+inline double EnvDouble(const char* name, double default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return default_value;
+  return std::strtod(value, nullptr);
+}
+
+/// True when DQUAG_BENCH_FAST=1: benches shrink workloads for smoke runs.
+inline bool FastMode() { return EnvInt("DQUAG_BENCH_FAST", 0) != 0; }
+
+}  // namespace bench
+}  // namespace dquag
+
+#endif  // DQUAG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,77 @@
+// Repair walkthrough on the Credit Card dataset (§3.2.2, §4.6).
+//
+// Injects the two hidden conflicts from §4.1.2, repairs the flagged cells
+// with the repair decoder, and prints before/after rows so the suggested
+// corrections are visible. Finishes with the §4.6-style error-rate summary
+// and writes the repaired table to CSV.
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "data/error_injector.h"
+#include "data/generators.h"
+#include "util/logging.h"
+
+using namespace dquag;  // NOLINT — example brevity
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  Rng rng(31);
+  Table clean = datasets::GenerateCreditCard(6000, rng);
+
+  DquagPipelineOptions options;
+  options.config.epochs = 20;
+  options.config.seed = 31;
+  DquagPipeline pipeline(std::move(options));
+  if (!pipeline.Fit(clean).ok()) return 1;
+
+  Table fresh = datasets::GenerateCreditCard(1200, rng);
+  ErrorInjector injector(32);
+  InjectionResult step1 =
+      injector.InjectCreditEmploymentConflict(fresh, 0.1);
+  InjectionResult step2 =
+      injector.InjectCreditIncomeConflict(step1.table, 0.1);
+  Table dirty = step2.table;
+
+  BatchVerdict before = pipeline.Validate(dirty);
+  RepairResult repair = pipeline.Repair(dirty, before);
+  BatchVerdict after = pipeline.Validate(repair.repaired);
+
+  std::printf("error rate before repair: %5.2f%%  (%s)\n",
+              before.flagged_fraction * 100.0,
+              before.is_dirty ? "DIRTY" : "clean");
+  std::printf("error rate after repair:  %5.2f%%  (%s)\n",
+              after.flagged_fraction * 100.0,
+              after.is_dirty ? "DIRTY" : "clean");
+  std::printf("repaired %lld cells in %lld instances\n\n",
+              static_cast<long long>(repair.cells_repaired),
+              static_cast<long long>(repair.instances_repaired));
+
+  // Show a few concrete repairs on employment-conflict rows.
+  int shown = 0;
+  for (size_t row : before.flagged_rows) {
+    if (shown >= 3) break;
+    const InstanceVerdict& inst = before.instances[row];
+    bool touches_employment = false;
+    for (int64_t c : inst.suspect_features) {
+      if (clean.schema().column(c).name == "DAYS_EMPLOYED") {
+        touches_employment = true;
+      }
+    }
+    if (!touches_employment) continue;
+    ++shown;
+    std::printf("row %zu:\n", row);
+    std::printf("  DAYS_BIRTH    = %.0f\n",
+                dirty.NumericByName("DAYS_BIRTH")[row]);
+    std::printf("  DAYS_EMPLOYED = %.0f  ->  %.0f  (suggested repair)\n",
+                dirty.NumericByName("DAYS_EMPLOYED")[row],
+                repair.repaired.NumericByName("DAYS_EMPLOYED")[row]);
+  }
+
+  const Status saved =
+      WriteCsvFile(repair.repaired.ToCsv(), "/tmp/credit_card_repaired.csv");
+  std::printf("\nrepaired table written to /tmp/credit_card_repaired.csv "
+              "(%s)\n",
+              saved.ok() ? "ok" : saved.ToString().c_str());
+  return 0;
+}

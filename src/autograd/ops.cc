@@ -1,0 +1,340 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <utility>
+
+namespace dquag {
+namespace ag {
+
+namespace {
+
+bool AnyRequiresGrad(const std::vector<VarPtr>& parents) {
+  for (const VarPtr& p : parents) {
+    if (p->requires_grad()) return true;
+  }
+  return false;
+}
+
+/// Builds the output node; attaches the tape edge only when some parent
+/// participates in gradient computation.
+VarPtr MakeOp(Tensor value, std::vector<VarPtr> parents,
+              std::function<void(Variable&)> backward_fn) {
+  const bool track = GradEnabled() && AnyRequiresGrad(parents);
+  VarPtr out = MakeVar(std::move(value), track);
+  if (track) out->set_backward(std::move(parents), std::move(backward_fn));
+  return out;
+}
+
+/// Adds `grad` into `target`, reducing over broadcast axes first.
+void AccumulateBroadcast(const VarPtr& target, const Tensor& grad) {
+  if (!target->requires_grad()) return;
+  target->AccumulateGrad(ReduceToShape(grad, target->value().shape()));
+}
+
+}  // namespace
+
+VarPtr Add(const VarPtr& a, const VarPtr& b) {
+  return MakeOp(dquag::Add(a->value(), b->value()), {a, b},
+                [a, b](Variable& out) {
+                  AccumulateBroadcast(a, out.grad());
+                  AccumulateBroadcast(b, out.grad());
+                });
+}
+
+VarPtr Sub(const VarPtr& a, const VarPtr& b) {
+  return MakeOp(dquag::Sub(a->value(), b->value()), {a, b},
+                [a, b](Variable& out) {
+                  AccumulateBroadcast(a, out.grad());
+                  AccumulateBroadcast(b, dquag::Neg(out.grad()));
+                });
+}
+
+VarPtr Mul(const VarPtr& a, const VarPtr& b) {
+  return MakeOp(dquag::Mul(a->value(), b->value()), {a, b},
+                [a, b](Variable& out) {
+                  AccumulateBroadcast(a, dquag::Mul(out.grad(), b->value()));
+                  AccumulateBroadcast(b, dquag::Mul(out.grad(), a->value()));
+                });
+}
+
+VarPtr Div(const VarPtr& a, const VarPtr& b) {
+  return MakeOp(
+      dquag::Div(a->value(), b->value()), {a, b},
+      [a, b](Variable& out) {
+        AccumulateBroadcast(a, dquag::Div(out.grad(), b->value()));
+        // d/db (a/b) = -a / b^2
+        Tensor b2 = dquag::Mul(b->value(), b->value());
+        Tensor gb = dquag::Neg(
+            dquag::Div(dquag::Mul(out.grad(), a->value()), b2));
+        AccumulateBroadcast(b, gb);
+      });
+}
+
+VarPtr AddScalar(const VarPtr& a, float s) {
+  return MakeOp(dquag::AddScalar(a->value(), s), {a},
+                [a](Variable& out) { AccumulateBroadcast(a, out.grad()); });
+}
+
+VarPtr MulScalar(const VarPtr& a, float s) {
+  return MakeOp(dquag::MulScalar(a->value(), s), {a},
+                [a, s](Variable& out) {
+                  AccumulateBroadcast(a, dquag::MulScalar(out.grad(), s));
+                });
+}
+
+VarPtr Relu(const VarPtr& a) {
+  return MakeOp(dquag::Relu(a->value()), {a}, [a](Variable& out) {
+    if (!a->requires_grad()) return;
+    Tensor g = out.grad();
+    const float* x = a->value().data();
+    float* pg = g.data();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      if (x[i] <= 0.0f) pg[i] = 0.0f;
+    }
+    a->AccumulateGrad(g);
+  });
+}
+
+VarPtr LeakyRelu(const VarPtr& a, float negative_slope) {
+  return MakeOp(dquag::LeakyRelu(a->value(), negative_slope), {a},
+                [a, negative_slope](Variable& out) {
+                  if (!a->requires_grad()) return;
+                  Tensor g = out.grad();
+                  const float* x = a->value().data();
+                  float* pg = g.data();
+                  for (int64_t i = 0; i < g.numel(); ++i) {
+                    if (x[i] <= 0.0f) pg[i] *= negative_slope;
+                  }
+                  a->AccumulateGrad(g);
+                });
+}
+
+VarPtr Elu(const VarPtr& a, float alpha) {
+  Tensor y = dquag::Elu(a->value(), alpha);
+  return MakeOp(std::move(y), {a}, [a, alpha](Variable& out) {
+    if (!a->requires_grad()) return;
+    Tensor g = out.grad();
+    const float* x = a->value().data();
+    const float* yv = out.value().data();
+    float* pg = g.data();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      // d elu = 1 for x>0 else elu(x) + alpha.
+      if (x[i] <= 0.0f) pg[i] *= yv[i] + alpha;
+    }
+    a->AccumulateGrad(g);
+  });
+}
+
+VarPtr Sigmoid(const VarPtr& a) {
+  Tensor y = dquag::Sigmoid(a->value());
+  return MakeOp(std::move(y), {a}, [a](Variable& out) {
+    if (!a->requires_grad()) return;
+    Tensor g = out.grad();
+    const float* yv = out.value().data();
+    float* pg = g.data();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      pg[i] *= yv[i] * (1.0f - yv[i]);
+    }
+    a->AccumulateGrad(g);
+  });
+}
+
+VarPtr Tanh(const VarPtr& a) {
+  Tensor y = dquag::Tanh(a->value());
+  return MakeOp(std::move(y), {a}, [a](Variable& out) {
+    if (!a->requires_grad()) return;
+    Tensor g = out.grad();
+    const float* yv = out.value().data();
+    float* pg = g.data();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      pg[i] *= 1.0f - yv[i] * yv[i];
+    }
+    a->AccumulateGrad(g);
+  });
+}
+
+VarPtr Exp(const VarPtr& a) {
+  Tensor y = dquag::Exp(a->value());
+  return MakeOp(std::move(y), {a}, [a](Variable& out) {
+    if (!a->requires_grad()) return;
+    a->AccumulateGrad(dquag::Mul(out.grad(), out.value()));
+  });
+}
+
+VarPtr Square(const VarPtr& a) {
+  return MakeOp(dquag::Square(a->value()), {a}, [a](Variable& out) {
+    if (!a->requires_grad()) return;
+    Tensor g = dquag::Mul(out.grad(), a->value());
+    a->AccumulateGrad(dquag::MulScalar(g, 2.0f));
+  });
+}
+
+VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
+  return MakeOp(
+      dquag::MatMul(a->value(), b->value()), {a, b}, [a, b](Variable& out) {
+        const Tensor& g = out.grad();
+        const Tensor& av = a->value();
+        const Tensor& bv = b->value();
+        if (a->requires_grad()) {
+          if (bv.ndim() == 2) {
+            // dA = G @ B^T; transpose-free kernel handles 2-D and 3-D G.
+            a->AccumulateGrad(dquag::MatMulTransB(g, bv));
+          } else {
+            a->AccumulateGrad(dquag::MatMul(g, dquag::TransposeLast2(bv)));
+          }
+        }
+        if (b->requires_grad()) {
+          if (bv.ndim() == 2) {
+            // Shared weight: dB = sum over all leading axes of A^T G.
+            b->AccumulateGrad(dquag::MatMulTransA(av, g));
+          } else {
+            b->AccumulateGrad(dquag::MatMul(dquag::TransposeLast2(av), g));
+          }
+        }
+      });
+}
+
+VarPtr Reshape(const VarPtr& a, Shape new_shape) {
+  Tensor y = a->value().Reshape(std::move(new_shape));
+  return MakeOp(std::move(y), {a}, [a](Variable& out) {
+    if (!a->requires_grad()) return;
+    a->AccumulateGrad(out.grad().Reshape(a->value().shape()));
+  });
+}
+
+VarPtr Concat(const std::vector<VarPtr>& parts, int64_t axis) {
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const VarPtr& p : parts) values.push_back(p->value());
+  Tensor y = dquag::Concat(values, axis);
+  const int64_t norm_axis = axis < 0 ? axis + parts[0]->value().ndim() : axis;
+  return MakeOp(std::move(y), parts, [parts, norm_axis](Variable& out) {
+    int64_t offset = 0;
+    for (const VarPtr& p : parts) {
+      const int64_t extent = p->value().dim(norm_axis);
+      if (p->requires_grad()) {
+        p->AccumulateGrad(
+            dquag::Slice(out.grad(), norm_axis, offset, offset + extent));
+      }
+      offset += extent;
+    }
+  });
+}
+
+VarPtr Slice(const VarPtr& a, int64_t axis, int64_t start, int64_t end) {
+  const int64_t norm_axis = axis < 0 ? axis + a->value().ndim() : axis;
+  Tensor y = dquag::Slice(a->value(), norm_axis, start, end);
+  return MakeOp(std::move(y), {a}, [a, norm_axis, start](Variable& out) {
+    if (!a->requires_grad()) return;
+    // Pad the gradient back into a zero tensor of the input shape.
+    Tensor padded = Tensor::Zeros(a->value().shape());
+    const Tensor& g = out.grad();
+    int64_t outer = 1, inner = 1;
+    for (int64_t i = 0; i < norm_axis; ++i) outer *= padded.dim(i);
+    for (int64_t i = norm_axis + 1; i < padded.ndim(); ++i) {
+      inner *= padded.dim(i);
+    }
+    const int64_t in_axis = padded.dim(norm_axis);
+    const int64_t out_axis = g.dim(norm_axis);
+    const float* src = g.data();
+    float* dst = padded.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy(src + o * out_axis * inner, src + (o + 1) * out_axis * inner,
+                dst + (o * in_axis + start) * inner);
+    }
+    a->AccumulateGrad(padded);
+  });
+}
+
+VarPtr Sum(const VarPtr& a, int64_t axis, bool keepdims) {
+  const int64_t norm_axis = axis < 0 ? axis + a->value().ndim() : axis;
+  Tensor y = dquag::Sum(a->value(), norm_axis, keepdims);
+  return MakeOp(std::move(y), {a}, [a, norm_axis, keepdims](Variable& out) {
+    if (!a->requires_grad()) return;
+    Tensor g = out.grad();
+    if (!keepdims) {
+      Shape kept = a->value().shape();
+      kept[static_cast<size_t>(norm_axis)] = 1;
+      g = g.Reshape(std::move(kept));
+    }
+    // Broadcast the reduced gradient back over the summed axis.
+    a->AccumulateGrad(dquag::Add(Tensor::Zeros(a->value().shape()), g));
+  });
+}
+
+VarPtr Mean(const VarPtr& a, int64_t axis, bool keepdims) {
+  const int64_t norm_axis = axis < 0 ? axis + a->value().ndim() : axis;
+  const float scale = 1.0f / static_cast<float>(a->value().dim(norm_axis));
+  return MulScalar(Sum(a, norm_axis, keepdims), scale);
+}
+
+VarPtr SumAll(const VarPtr& a) {
+  Tensor y = Tensor::Scalar(dquag::SumAll(a->value()));
+  return MakeOp(std::move(y), {a}, [a](Variable& out) {
+    if (!a->requires_grad()) return;
+    a->AccumulateGrad(Tensor::Full(a->value().shape(), out.grad()[0]));
+  });
+}
+
+VarPtr MeanAll(const VarPtr& a) {
+  const float scale = 1.0f / static_cast<float>(a->value().numel());
+  return MulScalar(SumAll(a), scale);
+}
+
+VarPtr GatherAxis1(const VarPtr& t, std::vector<int32_t> indices) {
+  Tensor y = dquag::GatherAxis1(t->value(), indices);
+  const int64_t rows = t->value().ndim() == 3 ? t->value().dim(1)
+                                              : t->value().dim(0);
+  return MakeOp(std::move(y), {t},
+                [t, indices = std::move(indices), rows](Variable& out) {
+                  if (!t->requires_grad()) return;
+                  t->AccumulateGrad(
+                      dquag::ScatterAddAxis1(out.grad(), indices, rows));
+                });
+}
+
+VarPtr ScatterAddAxis1(const VarPtr& src, std::vector<int32_t> indices,
+                       int64_t num_rows) {
+  Tensor y = dquag::ScatterAddAxis1(src->value(), indices, num_rows);
+  return MakeOp(std::move(y), {src},
+                [src, indices = std::move(indices)](Variable& out) {
+                  if (!src->requires_grad()) return;
+                  src->AccumulateGrad(dquag::GatherAxis1(out.grad(), indices));
+                });
+}
+
+VarPtr SegmentSoftmaxAxis1(const VarPtr& scores, std::vector<int32_t> segments,
+                           int64_t num_segments) {
+  Tensor y = dquag::SegmentSoftmaxAxis1(scores->value(), segments,
+                                        num_segments);
+  return MakeOp(
+      std::move(y), {scores},
+      [scores, segments = std::move(segments),
+       num_segments](Variable& out) {
+        if (!scores->requires_grad()) return;
+        // dy/ds within a segment: ds_e = y_e * (g_e - sum_seg(g * y)).
+        const Tensor& yv = out.value();
+        const Tensor& g = out.grad();
+        Tensor gy = dquag::Mul(g, yv);
+        Tensor seg_sums = dquag::SegmentSumAxis1(gy, segments, num_segments);
+        Tensor ds(yv.shape());
+        const bool is_1d = yv.ndim() == 1;
+        const int64_t batch = is_1d ? 1 : yv.dim(0);
+        const int64_t num = is_1d ? yv.dim(0) : yv.dim(1);
+        const float* py = yv.data();
+        const float* pg = g.data();
+        const float* psum = seg_sums.data();
+        float* pd = ds.data();
+        for (int64_t b = 0; b < batch; ++b) {
+          for (int64_t e = 0; e < num; ++e) {
+            const int64_t i = b * num + e;
+            const int32_t s = segments[static_cast<size_t>(e)];
+            pd[i] = py[i] * (pg[i] - psum[b * num_segments + s]);
+          }
+        }
+        scores->AccumulateGrad(ds);
+      });
+}
+
+}  // namespace ag
+}  // namespace dquag

@@ -1,0 +1,77 @@
+#include "baselines/adqv.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/column_profile.h"
+#include "core/error_stats.h"
+#include "data/batch_sampler.h"
+
+namespace dquag {
+
+void AdqvValidator::Fit(const Table& clean) {
+  Rng rng(options_.seed);
+  reference_descriptors_.clear();
+  const std::vector<Table> batches = SampleBatches(
+      clean, options_.num_reference_batches, options_.batch_fraction, rng);
+  for (const Table& batch : batches) {
+    reference_descriptors_.push_back(BatchDescriptor(batch));
+  }
+  DQUAG_CHECK(!reference_descriptors_.empty());
+  const size_t dim = reference_descriptors_[0].size();
+
+  // Per-dimension scale from the reference spread (std, floored).
+  scales_.assign(dim, 1.0);
+  for (size_t j = 0; j < dim; ++j) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (const auto& d : reference_descriptors_) {
+      sum += d[j];
+      sum_sq += d[j] * d[j];
+    }
+    const double n = static_cast<double>(reference_descriptors_.size());
+    const double mean = sum / n;
+    const double var = std::max(0.0, sum_sq / n - mean * mean);
+    scales_[j] = std::max(std::sqrt(var), 1e-9 + 1e-6 * std::abs(mean));
+  }
+
+  // Leave-one-out distances calibrate the decision threshold.
+  std::vector<double> loo_scores;
+  loo_scores.reserve(reference_descriptors_.size());
+  for (size_t i = 0; i < reference_descriptors_.size(); ++i) {
+    loo_scores.push_back(
+        KnnScore(reference_descriptors_[i], static_cast<int>(i)));
+  }
+  threshold_ = Percentile(loo_scores, options_.threshold_quantile) *
+               options_.threshold_slack;
+}
+
+double AdqvValidator::KnnScore(const std::vector<double>& descriptor,
+                               int exclude) const {
+  std::vector<double> distances;
+  distances.reserve(reference_descriptors_.size());
+  for (size_t i = 0; i < reference_descriptors_.size(); ++i) {
+    if (static_cast<int>(i) == exclude) continue;
+    const auto& ref = reference_descriptors_[i];
+    double sum_sq = 0.0;
+    for (size_t j = 0; j < descriptor.size(); ++j) {
+      const double delta = (descriptor[j] - ref[j]) / scales_[j];
+      sum_sq += delta * delta;
+    }
+    distances.push_back(std::sqrt(sum_sq));
+  }
+  const int k = std::min<int>(options_.k, static_cast<int>(distances.size()));
+  std::partial_sort(distances.begin(), distances.begin() + k,
+                    distances.end());
+  double mean = 0.0;
+  for (int i = 0; i < k; ++i) mean += distances[static_cast<size_t>(i)];
+  return mean / static_cast<double>(std::max(1, k));
+}
+
+bool AdqvValidator::IsDirty(const Table& batch) {
+  const std::vector<double> descriptor = BatchDescriptor(batch);
+  DQUAG_CHECK_EQ(descriptor.size(), scales_.size());
+  last_score_ = KnnScore(descriptor, /*exclude=*/-1);
+  return last_score_ > threshold_;
+}
+
+}  // namespace dquag

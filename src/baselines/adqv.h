@@ -1,0 +1,62 @@
+// ADQV: automating data quality validation for dynamic data ingestion
+// (Redyuk et al., EDBT 2021; §4.1.3).
+//
+// ADQV represents each ingested batch by a vector of descriptive statistics
+// and uses a k-nearest-neighbour model over previously accepted (clean)
+// batches: a new batch whose mean distance to its k nearest clean batches
+// exceeds a data-driven threshold is flagged. It detects errors that shift
+// column statistics, but — as Table 1 shows — conflicts that leave the
+// marginal statistics almost unchanged can fool it in either direction
+// (flagging nothing, or flagging incidental numeric drift instead of the
+// real issue), and it cannot point at the offending rows.
+
+#ifndef DQUAG_BASELINES_ADQV_H_
+#define DQUAG_BASELINES_ADQV_H_
+
+#include <vector>
+
+#include "baselines/batch_validator.h"
+#include "util/rng.h"
+
+namespace dquag {
+
+struct AdqvOptions {
+  int num_reference_batches = 60;
+  double batch_fraction = 0.1;
+  int k = 5;
+  /// Threshold = this quantile of leave-one-out kNN distances among the
+  /// clean reference batches, scaled by `threshold_slack`.
+  double threshold_quantile = 0.95;
+  double threshold_slack = 1.05;
+  uint64_t seed = 1234;
+};
+
+class AdqvValidator : public BatchValidator {
+ public:
+  explicit AdqvValidator(AdqvOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "ADQV"; }
+
+  void Fit(const Table& clean) override;
+  bool IsDirty(const Table& batch) override;
+
+  /// kNN distance score of the last validated batch.
+  double last_score() const { return last_score_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  /// Mean distance from `descriptor` to its k nearest reference batches,
+  /// excluding reference index `exclude` (-1 for none).
+  double KnnScore(const std::vector<double>& descriptor, int exclude) const;
+
+  AdqvOptions options_;
+  std::vector<std::vector<double>> reference_descriptors_;
+  /// Per-dimension scale (robust std) for distance normalization.
+  std::vector<double> scales_;
+  double threshold_ = 0.0;
+  double last_score_ = 0.0;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_BASELINES_ADQV_H_

@@ -1,0 +1,30 @@
+// Common interface for the baseline batch-level validators (§4.1.3).
+
+#ifndef DQUAG_BASELINES_BATCH_VALIDATOR_H_
+#define DQUAG_BASELINES_BATCH_VALIDATOR_H_
+
+#include <string>
+
+#include "data/table.h"
+
+namespace dquag {
+
+/// A system that learns from a clean reference dataset and then classifies
+/// incoming batches as clean or dirty. DQuaG and all four baselines are
+/// evaluated through this interface by the benchmark harness.
+class BatchValidator {
+ public:
+  virtual ~BatchValidator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Learns constraints / references from the clean dataset.
+  virtual void Fit(const Table& clean) = 0;
+
+  /// True if the batch is classified as having data quality issues.
+  virtual bool IsDirty(const Table& batch) = 0;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_BASELINES_BATCH_VALIDATOR_H_

@@ -1,0 +1,186 @@
+#include "baselines/column_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error_stats.h"
+
+namespace dquag {
+
+std::vector<ColumnProfile> ProfileTable(const Table& table) {
+  std::vector<ColumnProfile> profiles;
+  const int64_t d = table.num_columns();
+  profiles.reserve(static_cast<size_t>(d));
+  for (int64_t c = 0; c < d; ++c) {
+    ColumnProfile profile;
+    profile.name = table.schema().column(c).name;
+    profile.type = table.schema().column(c).type;
+    profile.num_rows = table.num_rows();
+    if (profile.type == ColumnType::kNumeric) {
+      std::vector<double> present;
+      present.reserve(static_cast<size_t>(table.num_rows()));
+      for (double v : table.Numeric(c)) {
+        if (!IsMissing(v)) present.push_back(v);
+      }
+      profile.completeness =
+          table.num_rows() == 0
+              ? 1.0
+              : static_cast<double>(present.size()) /
+                    static_cast<double>(table.num_rows());
+      if (!present.empty()) {
+        double sum = 0.0, sum_sq = 0.0;
+        profile.min = present[0];
+        profile.max = present[0];
+        for (double v : present) {
+          sum += v;
+          sum_sq += v * v;
+          profile.min = std::min(profile.min, v);
+          profile.max = std::max(profile.max, v);
+        }
+        const double n = static_cast<double>(present.size());
+        profile.mean = sum / n;
+        profile.stddev =
+            std::sqrt(std::max(0.0, sum_sq / n - profile.mean * profile.mean));
+        profile.q01 = Percentile(present, 0.01);
+        profile.q99 = Percentile(present, 0.99);
+      }
+      // Distinctness for numerics: exact-value distinct ratio.
+      std::set<double> distinct(present.begin(), present.end());
+      profile.distinct_ratio =
+          present.empty() ? 0.0
+                          : static_cast<double>(distinct.size()) /
+                                static_cast<double>(present.size());
+    } else {
+      int64_t present = 0;
+      std::map<std::string, int64_t> counts;
+      for (const std::string& v : table.Categorical(c)) {
+        if (v.empty()) continue;
+        ++present;
+        ++counts[v];
+      }
+      profile.completeness =
+          table.num_rows() == 0
+              ? 1.0
+              : static_cast<double>(present) /
+                    static_cast<double>(table.num_rows());
+      for (const auto& [value, count] : counts) {
+        profile.domain.insert(value);
+        profile.frequencies[value] =
+            present == 0 ? 0.0
+                         : static_cast<double>(count) /
+                               static_cast<double>(present);
+      }
+      profile.distinct_ratio =
+          present == 0 ? 0.0
+                       : static_cast<double>(counts.size()) /
+                             static_cast<double>(present);
+    }
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+std::vector<double> BatchDescriptor(const Table& table) {
+  std::vector<double> descriptor;
+  const std::vector<ColumnProfile> profiles = ProfileTable(table);
+  descriptor.reserve(profiles.size() * 6);
+  for (const ColumnProfile& p : profiles) {
+    descriptor.push_back(p.completeness);
+    if (p.type == ColumnType::kNumeric) {
+      descriptor.push_back(p.mean);
+      descriptor.push_back(p.stddev);
+      descriptor.push_back(p.min);
+      descriptor.push_back(p.max);
+    } else {
+      // Categorical: entropy-like summaries so codes are scale-free.
+      double entropy = 0.0;
+      double top = 0.0;
+      for (const auto& [value, freq] : p.frequencies) {
+        if (freq > 0.0) entropy -= freq * std::log(freq);
+        top = std::max(top, freq);
+      }
+      descriptor.push_back(entropy);
+      descriptor.push_back(top);
+      descriptor.push_back(static_cast<double>(p.domain.size()));
+      descriptor.push_back(0.0);
+    }
+    descriptor.push_back(p.distinct_ratio);
+  }
+  return descriptor;
+}
+
+std::vector<double> RobustBatchDescriptor(const Table& table) {
+  std::vector<double> descriptor;
+  const int64_t d = table.num_columns();
+  for (int64_t c = 0; c < d; ++c) {
+    if (table.schema().column(c).type == ColumnType::kNumeric) {
+      std::vector<double> present;
+      for (double v : table.Numeric(c)) {
+        if (!IsMissing(v)) present.push_back(v);
+      }
+      const double completeness =
+          table.num_rows() == 0
+              ? 1.0
+              : static_cast<double>(present.size()) /
+                    static_cast<double>(table.num_rows());
+      descriptor.push_back(completeness);
+      if (present.empty()) {
+        descriptor.push_back(0.0);
+        descriptor.push_back(0.0);
+      } else {
+        descriptor.push_back(Percentile(present, 0.5));
+        descriptor.push_back(Percentile(present, 0.75) -
+                             Percentile(present, 0.25));
+      }
+    } else {
+      int64_t present = 0;
+      std::map<std::string, int64_t> counts;
+      for (const std::string& v : table.Categorical(c)) {
+        if (v.empty()) continue;
+        ++present;
+        ++counts[v];
+      }
+      const double completeness =
+          table.num_rows() == 0
+              ? 1.0
+              : static_cast<double>(present) /
+                    static_cast<double>(table.num_rows());
+      descriptor.push_back(completeness);
+      double entropy = 0.0, top = 0.0;
+      for (const auto& [value, count] : counts) {
+        const double freq = present == 0 ? 0.0
+                                         : static_cast<double>(count) /
+                                               static_cast<double>(present);
+        if (freq > 0.0) entropy -= freq * std::log(freq);
+        top = std::max(top, freq);
+      }
+      descriptor.push_back(entropy);
+      descriptor.push_back(top);
+    }
+  }
+  return descriptor;
+}
+
+std::vector<std::string> BatchDescriptorNames(const Schema& schema) {
+  std::vector<std::string> names;
+  for (int64_t c = 0; c < schema.num_columns(); ++c) {
+    const std::string& base = schema.column(c).name;
+    const bool numeric = schema.column(c).type == ColumnType::kNumeric;
+    names.push_back(base + ".completeness");
+    if (numeric) {
+      names.push_back(base + ".mean");
+      names.push_back(base + ".stddev");
+      names.push_back(base + ".min");
+      names.push_back(base + ".max");
+    } else {
+      names.push_back(base + ".entropy");
+      names.push_back(base + ".top_frequency");
+      names.push_back(base + ".domain_size");
+      names.push_back(base + ".unused");
+    }
+    names.push_back(base + ".distinct_ratio");
+  }
+  return names;
+}
+
+}  // namespace dquag

@@ -1,0 +1,62 @@
+// Column profiling shared by the baseline validators.
+//
+// Deequ and TFDV derive constraints/schemas from profiles of the clean
+// data; ADQV and Gate consume per-batch descriptor vectors of the same
+// statistics.
+
+#ifndef DQUAG_BASELINES_COLUMN_PROFILE_H_
+#define DQUAG_BASELINES_COLUMN_PROFILE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace dquag {
+
+/// Summary statistics of one column.
+struct ColumnProfile {
+  std::string name;
+  ColumnType type = ColumnType::kNumeric;
+  int64_t num_rows = 0;
+  /// Fraction of non-missing cells.
+  double completeness = 1.0;
+
+  // Numeric statistics (over non-missing values).
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double q01 = 0.0;  // 1st percentile
+  double q99 = 0.0;  // 99th percentile
+
+  // Categorical statistics.
+  std::set<std::string> domain;
+  /// distinct count / rows (approximate uniqueness signal).
+  double distinct_ratio = 0.0;
+  /// Relative frequency of each observed category.
+  std::map<std::string, double> frequencies;
+};
+
+/// Profiles every column of a table.
+std::vector<ColumnProfile> ProfileTable(const Table& table);
+
+/// Flattens a table's profile into a fixed-length numeric descriptor
+/// (completeness, mean, stddev, min, max, distinct ratio per column — the
+/// descriptor representation used by ADQV and Gate).
+std::vector<double> BatchDescriptor(const Table& table);
+
+/// Names of the descriptor entries (column.statistic), aligned with
+/// BatchDescriptor output.
+std::vector<std::string> BatchDescriptorNames(const Schema& schema);
+
+/// Robust variant used by Gate: medians and interquartile ranges instead of
+/// mean/std/min/max. Robust partition statistics are precisely what makes
+/// Gate precise on gross shifts yet blind to bounded fractions of outliers.
+std::vector<double> RobustBatchDescriptor(const Table& table);
+
+}  // namespace dquag
+
+#endif  // DQUAG_BASELINES_COLUMN_PROFILE_H_

@@ -1,0 +1,147 @@
+#include "baselines/deequ.h"
+
+#include <algorithm>
+
+namespace dquag {
+
+void DeequValidator::Fit(const Table& clean) {
+  schema_ = clean.schema();
+  ranges_.clear();
+  completeness_.clear();
+  containment_.clear();
+  uniqueness_.clear();
+  quantile_pins_.clear();
+  last_violations_.clear();
+
+  const std::vector<ColumnProfile> profiles = ProfileTable(clean);
+  for (int64_t c = 0; c < clean.num_columns(); ++c) {
+    const ColumnProfile& p = profiles[static_cast<size_t>(c)];
+    if (p.type == ColumnType::kNumeric) {
+      RangeConstraint range;
+      range.column = c;
+      if (mode_ == BaselineMode::kAuto) {
+        // Suggested constraint: exactly the observed range.
+        range.lo = p.min;
+        range.hi = p.max;
+      } else {
+        // Expert widening: 25% of the span on both sides. Wide enough for
+        // sampling variation, tight enough that 10x anomalies stay outside.
+        const double span = std::max(1e-9, p.max - p.min);
+        range.lo = p.min - 0.25 * span;
+        range.hi = p.max + 0.25 * span;
+      }
+      ranges_.push_back(range);
+      // Deequ's UniqueIfApproximatelyUniqueRule: columns that look almost
+      // unique in the profile get an isUnique suggestion. This is one of
+      // the suggestions that makes the auto mode too strict — batches of a
+      // continuous column routinely contain a duplicate, so the constraint
+      // fires on clean data. Experts drop it.
+      if (mode_ == BaselineMode::kAuto && p.distinct_ratio >= 0.95) {
+        uniqueness_.push_back({c});
+      }
+      if (mode_ == BaselineMode::kAuto) {
+        quantile_pins_.push_back({c, p.q01, p.q99});
+      }
+    } else {
+      ContainmentConstraint contain;
+      contain.column = c;
+      contain.allowed = p.domain;
+      containment_.push_back(std::move(contain));
+    }
+    CompletenessConstraint complete;
+    complete.column = c;
+    complete.min_completeness =
+        mode_ == BaselineMode::kAuto
+            ? p.completeness  // exactly as observed (strict when 1.0)
+            : std::max(0.0, p.completeness - 0.05);
+    completeness_.push_back(complete);
+  }
+  violation_tolerance_ = mode_ == BaselineMode::kAuto ? 0.0 : 0.02;
+}
+
+bool DeequValidator::IsDirty(const Table& batch) {
+  DQUAG_CHECK(batch.schema() == schema_);
+  last_violations_.clear();
+  const int64_t rows = batch.num_rows();
+  if (rows == 0) return false;
+
+  for (const RangeConstraint& range : ranges_) {
+    int64_t violations = 0;
+    for (double v : batch.Numeric(range.column)) {
+      if (IsMissing(v)) continue;
+      if (v < range.lo || v > range.hi) ++violations;
+    }
+    const double rate =
+        static_cast<double>(violations) / static_cast<double>(rows);
+    if (rate > violation_tolerance_) {
+      last_violations_.push_back(
+          schema_.column(range.column).name + ".range (" +
+          std::to_string(rate) + ")");
+    }
+  }
+  for (const ContainmentConstraint& contain : containment_) {
+    int64_t violations = 0;
+    for (const std::string& v : batch.Categorical(contain.column)) {
+      if (v.empty()) continue;
+      if (!contain.allowed.count(v)) ++violations;
+    }
+    const double rate =
+        static_cast<double>(violations) / static_cast<double>(rows);
+    if (rate > violation_tolerance_) {
+      last_violations_.push_back(
+          schema_.column(contain.column).name + ".containment (" +
+          std::to_string(rate) + ")");
+    }
+  }
+  for (const QuantilePinConstraint& pin : quantile_pins_) {
+    std::vector<double> present;
+    for (double v : batch.Numeric(pin.column)) {
+      if (!IsMissing(v)) present.push_back(v);
+    }
+    if (present.size() < 10) continue;
+    std::sort(present.begin(), present.end());
+    const double q01 = present[static_cast<size_t>(0.01 * (present.size() - 1))];
+    const double q99 = present[static_cast<size_t>(0.99 * (present.size() - 1))];
+    if (q99 > pin.q99 || q01 < pin.q01) {
+      last_violations_.push_back(schema_.column(pin.column).name +
+                                 ".quantile_pin");
+    }
+  }
+  for (const UniquenessConstraint& unique : uniqueness_) {
+    std::set<double> seen;
+    bool duplicate = false;
+    for (double v : batch.Numeric(unique.column)) {
+      if (IsMissing(v)) continue;
+      if (!seen.insert(v).second) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      last_violations_.push_back(schema_.column(unique.column).name +
+                                 ".isUnique");
+    }
+  }
+  for (const CompletenessConstraint& complete : completeness_) {
+    int64_t present = 0;
+    if (schema_.column(complete.column).type == ColumnType::kNumeric) {
+      for (double v : batch.Numeric(complete.column)) {
+        if (!IsMissing(v)) ++present;
+      }
+    } else {
+      for (const std::string& v : batch.Categorical(complete.column)) {
+        if (!v.empty()) ++present;
+      }
+    }
+    const double completeness =
+        static_cast<double>(present) / static_cast<double>(rows);
+    if (completeness + 1e-12 < complete.min_completeness) {
+      last_violations_.push_back(
+          schema_.column(complete.column).name + ".completeness (" +
+          std::to_string(completeness) + ")");
+    }
+  }
+  return !last_violations_.empty();
+}
+
+}  // namespace dquag

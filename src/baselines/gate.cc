@@ -1,0 +1,51 @@
+#include "baselines/gate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/column_profile.h"
+#include "data/batch_sampler.h"
+
+namespace dquag {
+
+void GateValidator::Fit(const Table& clean) {
+  Rng rng(options_.seed);
+  const std::vector<Table> batches = SampleBatches(
+      clean, options_.num_reference_batches, options_.batch_fraction, rng);
+  DQUAG_CHECK(!batches.empty());
+  std::vector<std::vector<double>> descriptors;
+  descriptors.reserve(batches.size());
+  for (const Table& batch : batches) {
+    descriptors.push_back(RobustBatchDescriptor(batch));
+  }
+  const size_t dim = descriptors[0].size();
+  means_.assign(dim, 0.0);
+  stddevs_.assign(dim, 0.0);
+  const double n = static_cast<double>(descriptors.size());
+  for (size_t j = 0; j < dim; ++j) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (const auto& d : descriptors) {
+      sum += d[j];
+      sum_sq += d[j] * d[j];
+    }
+    means_[j] = sum / n;
+    const double var = std::max(0.0, sum_sq / n - means_[j] * means_[j]);
+    stddevs_[j] = std::max(std::sqrt(var), 1e-9 + 1e-6 * std::abs(means_[j]));
+  }
+}
+
+bool GateValidator::IsDirty(const Table& batch) {
+  const std::vector<double> descriptor = RobustBatchDescriptor(batch);
+  DQUAG_CHECK_EQ(descriptor.size(), means_.size());
+  int64_t out_of_band = 0;
+  for (size_t j = 0; j < descriptor.size(); ++j) {
+    const double z = std::abs(descriptor[j] - means_[j]) / stddevs_[j];
+    if (z > options_.z_band) ++out_of_band;
+  }
+  last_violation_fraction_ =
+      static_cast<double>(out_of_band) /
+      static_cast<double>(std::max<size_t>(1, descriptor.size()));
+  return last_violation_fraction_ > options_.violation_budget;
+}
+
+}  // namespace dquag

@@ -1,0 +1,153 @@
+#include "baselines/tfdv.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dquag {
+
+void TfdvValidator::NumericHistogram::Fill(const std::vector<double>& values,
+                                           int num_bins) {
+  density.assign(static_cast<size_t>(num_bins), 0.0);
+  int64_t present = 0;
+  const double span = std::max(1e-12, hi - lo);
+  for (double v : values) {
+    if (IsMissing(v)) continue;
+    ++present;
+    int bin = static_cast<int>((v - lo) / span * num_bins);
+    bin = std::clamp(bin, 0, num_bins - 1);
+    density[static_cast<size_t>(bin)] += 1.0;
+  }
+  if (present > 0) {
+    for (double& d : density) d /= static_cast<double>(present);
+  }
+}
+
+double TfdvValidator::LInfinityDistance(const NumericHistogram& reference,
+                                        const NumericHistogram& batch) {
+  DQUAG_CHECK_EQ(reference.density.size(), batch.density.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < reference.density.size(); ++i) {
+    worst = std::max(worst,
+                     std::abs(reference.density[i] - batch.density[i]));
+  }
+  return worst;
+}
+
+void TfdvValidator::Fit(const Table& clean) {
+  schema_ = clean.schema();
+  reference_profiles_ = ProfileTable(clean);
+  reference_histograms_.clear();
+  for (int64_t c = 0; c < clean.num_columns(); ++c) {
+    if (schema_.column(c).type != ColumnType::kNumeric) continue;
+    const ColumnProfile& p = reference_profiles_[static_cast<size_t>(c)];
+    NumericHistogram hist;
+    hist.lo = p.min;
+    hist.hi = p.max;
+    hist.Fill(clean.Numeric(c), kNumBins);
+    reference_histograms_[c] = std::move(hist);
+  }
+  if (mode_ == BaselineMode::kAuto) {
+    // Auto = the inferred schema verbatim. Real TFDV does NOT add a drift
+    // comparator automatically — the user must configure one — so the auto
+    // mode has no distribution check at all (numeric anomalies sail
+    // through, the Table 1 failure mode), while any unseen category or
+    // presence drop is an anomaly.
+    unseen_tolerance_ = 0.0;
+    presence_tolerance_ = 0.0;
+    drift_threshold_ = -1.0;  // disabled
+    range_margin_ = -1.0;     // TFDV does not infer value ranges
+  } else {
+    // Expert mode: relaxed schema rules, hand-set int_domain/float_domain
+    // bounds (observed range + 25%), and an L-infinity drift comparator —
+    // the fine-tuning the paper performed. The drift threshold is kept high
+    // enough that joint-distribution changes (conflicts) stay invisible,
+    // which is the published behaviour.
+    unseen_tolerance_ = 0.02;
+    presence_tolerance_ = 0.05;
+    drift_threshold_ = 0.25;
+    range_margin_ = 0.25;
+    range_violation_tolerance_ = 0.02;
+  }
+}
+
+bool TfdvValidator::IsDirty(const Table& batch) {
+  DQUAG_CHECK(batch.schema() == schema_);
+  last_anomalies_.clear();
+  const int64_t rows = batch.num_rows();
+  if (rows == 0) return false;
+
+  for (int64_t c = 0; c < batch.num_columns(); ++c) {
+    const ColumnProfile& ref = reference_profiles_[static_cast<size_t>(c)];
+    const std::string& name = schema_.column(c).name;
+    if (schema_.column(c).type == ColumnType::kCategorical) {
+      // Domain check.
+      int64_t unseen = 0;
+      int64_t present = 0;
+      for (const std::string& v : batch.Categorical(c)) {
+        if (v.empty()) continue;
+        ++present;
+        if (!ref.domain.count(v)) ++unseen;
+      }
+      const double unseen_rate =
+          present == 0 ? 0.0
+                       : static_cast<double>(unseen) /
+                             static_cast<double>(present);
+      if (unseen_rate > unseen_tolerance_) {
+        last_anomalies_.push_back(name + ".domain (" +
+                                  std::to_string(unseen_rate) + ")");
+      }
+      // Presence check.
+      const double completeness =
+          static_cast<double>(present) / static_cast<double>(rows);
+      if (completeness + presence_tolerance_ + 1e-12 < ref.completeness) {
+        last_anomalies_.push_back(name + ".presence");
+      }
+    } else {
+      // Presence check for numerics.
+      int64_t present = 0;
+      for (double v : batch.Numeric(c)) {
+        if (!IsMissing(v)) ++present;
+      }
+      const double completeness =
+          static_cast<double>(present) / static_cast<double>(rows);
+      if (completeness + presence_tolerance_ + 1e-12 < ref.completeness) {
+        last_anomalies_.push_back(name + ".presence");
+      }
+      // Expert-set value-domain bounds.
+      if (range_margin_ >= 0.0) {
+        const double span = std::max(1e-9, ref.max - ref.min);
+        const double lo = ref.min - range_margin_ * span;
+        const double hi = ref.max + range_margin_ * span;
+        int64_t out_of_range = 0;
+        for (double v : batch.Numeric(c)) {
+          if (!IsMissing(v) && (v < lo || v > hi)) ++out_of_range;
+        }
+        const double rate = static_cast<double>(out_of_range) /
+                            static_cast<double>(rows);
+        if (rate > range_violation_tolerance_) {
+          last_anomalies_.push_back(name + ".domain_range (" +
+                                    std::to_string(rate) + ")");
+        }
+      }
+      // Drift comparator (expert-configured only). L-infinity over the
+      // reference binning; values outside the reference range pile into the
+      // edge bins, which is how the histogram sees out-of-range anomalies.
+      if (drift_threshold_ >= 0.0) {
+        NumericHistogram hist;
+        const auto it = reference_histograms_.find(c);
+        DQUAG_CHECK(it != reference_histograms_.end());
+        hist.lo = it->second.lo;
+        hist.hi = it->second.hi;
+        hist.Fill(batch.Numeric(c), kNumBins);
+        const double drift = LInfinityDistance(it->second, hist);
+        if (drift > drift_threshold_) {
+          last_anomalies_.push_back(name + ".drift (" +
+                                    std::to_string(drift) + ")");
+        }
+      }
+    }
+  }
+  return !last_anomalies_.empty();
+}
+
+}  // namespace dquag

@@ -1,0 +1,76 @@
+// TFDV-style schema validation and drift detection (Caveness et al.,
+// SIGMOD 2020; §4.1.3).
+//
+// TFDV infers a schema (types, categorical domains, presence) from the
+// reference data and compares new batches against it; numeric columns are
+// additionally compared by L-infinity distance between normalized value
+// histograms (TFDV's drift comparator). The auto mode uses the inferred
+// schema verbatim: any unseen category or presence drop is an anomaly, and
+// the drift threshold is the library default. The expert mode relaxes the
+// domain rule to a tolerated unseen-rate and tunes presence and drift
+// thresholds (the manual fine-tuning performed in the paper). Like the real
+// system, neither mode reasons about cross-column combinations.
+
+#ifndef DQUAG_BASELINES_TFDV_H_
+#define DQUAG_BASELINES_TFDV_H_
+
+#include <map>
+#include <vector>
+
+#include "baselines/batch_validator.h"
+#include "baselines/column_profile.h"
+#include "baselines/deequ.h"  // BaselineMode
+
+namespace dquag {
+
+class TfdvValidator : public BatchValidator {
+ public:
+  explicit TfdvValidator(BaselineMode mode) : mode_(mode) {}
+
+  std::string name() const override {
+    return mode_ == BaselineMode::kAuto ? "TFDV auto" : "TFDV expert";
+  }
+
+  void Fit(const Table& clean) override;
+  bool IsDirty(const Table& batch) override;
+
+  const std::vector<std::string>& last_anomalies() const {
+    return last_anomalies_;
+  }
+
+ private:
+  struct NumericHistogram {
+    double lo = 0.0;
+    double hi = 1.0;
+    std::vector<double> density;  // normalized bin frequencies
+
+    /// Fills the histogram from values using the fitted bounds; values
+    /// outside land in the edge bins.
+    void Fill(const std::vector<double>& values, int num_bins);
+  };
+
+  /// L-infinity distance between this column's reference histogram and the
+  /// batch histogram (TFDV's default drift statistic).
+  static double LInfinityDistance(const NumericHistogram& reference,
+                                  const NumericHistogram& batch);
+
+  static constexpr int kNumBins = 10;
+
+  BaselineMode mode_;
+  Schema schema_;
+  std::vector<ColumnProfile> reference_profiles_;
+  std::map<int64_t, NumericHistogram> reference_histograms_;
+  double drift_threshold_ = 0.0;
+  double unseen_tolerance_ = 0.0;
+  double presence_tolerance_ = 0.0;
+  /// Expert-configured int_domain/float_domain bounds as a fraction of the
+  /// observed span (< 0 disables the check; auto mode has none — TFDV does
+  /// not infer value ranges).
+  double range_margin_ = -1.0;
+  double range_violation_tolerance_ = 0.0;
+  std::vector<std::string> last_anomalies_;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_BASELINES_TFDV_H_

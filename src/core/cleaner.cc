@@ -1,0 +1,83 @@
+#include "core/cleaner.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dquag {
+
+DataCleaner::DataCleaner(const DquagPipeline* pipeline, CleaningPolicy policy)
+    : pipeline_(pipeline), policy_(policy) {
+  DQUAG_CHECK(pipeline_ != nullptr);
+  DQUAG_CHECK(pipeline_->fitted());
+}
+
+CleaningResult DataCleaner::Clean(const Table& batch) const {
+  const BatchVerdict verdict = pipeline_->Validate(batch);
+  const double threshold = verdict.threshold;
+  const double d = static_cast<double>(batch.num_columns());
+
+  // Decide per instance: keep, repair, or drop.
+  std::vector<bool> drop(static_cast<size_t>(batch.num_rows()), false);
+  for (size_t row : verdict.flagged_rows) {
+    const InstanceVerdict& inst = verdict.instances[row];
+    const bool beyond_salvage =
+        inst.error > policy_.drop_multiplier * threshold;
+    const bool mostly_broken =
+        static_cast<double>(inst.suspect_features.size()) / d >
+        policy_.max_suspect_fraction;
+    if (beyond_salvage || mostly_broken) drop[row] = true;
+  }
+
+  // Repair the kept flagged instances.
+  RepairResult repair = pipeline_->Repair(batch, verdict);
+
+  CleaningResult result;
+  result.cells_repaired = 0;
+  for (size_t row : verdict.flagged_rows) {
+    if (drop[row]) continue;
+    ++result.rows_repaired;
+    result.cells_repaired += static_cast<int64_t>(
+        verdict.instances[row].suspect_features.size());
+  }
+
+  // Optionally drop what repair could not fix.
+  if (policy_.drop_unrepairable) {
+    const BatchVerdict after = pipeline_->Validate(repair.repaired);
+    for (size_t row : after.flagged_rows) drop[row] = true;
+  }
+
+  for (size_t row = 0; row < drop.size(); ++row) {
+    if (!drop[row]) result.kept_rows.push_back(row);
+  }
+  result.rows_dropped =
+      batch.num_rows() - static_cast<int64_t>(result.kept_rows.size());
+  result.cleaned = repair.repaired.SelectRows(result.kept_rows);
+  return result;
+}
+
+std::vector<double> DataCleaner::ScoreRows(const Table& batch) const {
+  const BatchVerdict verdict = pipeline_->Validate(batch);
+  std::vector<double> scores;
+  scores.reserve(verdict.instances.size());
+  for (const InstanceVerdict& inst : verdict.instances) {
+    scores.push_back(inst.error);
+  }
+  return scores;
+}
+
+Table DataCleaner::SelectCleanest(const Table& batch, int64_t keep) const {
+  const std::vector<double> scores = ScoreRows(batch);
+  keep = std::min<int64_t>(keep, batch.num_rows());
+  if (keep < 0) keep = 0;
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  order.resize(static_cast<size_t>(keep));
+  // Restore original row order among the selected.
+  std::sort(order.begin(), order.end());
+  return batch.SelectRows(order);
+}
+
+}  // namespace dquag

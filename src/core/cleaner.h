@@ -1,0 +1,63 @@
+// Post-validation data cleaning and data selection.
+//
+// The paper's conclusion names "post-validation tasks, such as data
+// cleaning and data selection" as the planned extension of DQuaG; this
+// module implements both on top of the validator/repairer:
+//   * Clean(): per-instance policy — repair mildly damaged instances,
+//     drop instances whose reconstruction error is beyond salvage.
+//   * SelectCleanest(): rank instances by reconstruction error and keep the
+//     most trustworthy k (training-set curation).
+
+#ifndef DQUAG_CORE_CLEANER_H_
+#define DQUAG_CORE_CLEANER_H_
+
+#include "core/pipeline.h"
+
+namespace dquag {
+
+struct CleaningPolicy {
+  /// Instances with error > drop_multiplier * e_threshold are dropped
+  /// instead of repaired (too damaged to trust a decoder fix).
+  double drop_multiplier = 10.0;
+  /// Instances whose suspect-feature count exceeds this fraction of the
+  /// columns are dropped as well (half the row is wrong).
+  double max_suspect_fraction = 0.5;
+  /// Re-validate after repair and drop instances that still exceed the
+  /// threshold.
+  bool drop_unrepairable = false;
+};
+
+struct CleaningResult {
+  Table cleaned;
+  /// Original row index of every kept row, in output order.
+  std::vector<size_t> kept_rows;
+  int64_t rows_dropped = 0;
+  int64_t rows_repaired = 0;
+  int64_t cells_repaired = 0;
+};
+
+/// Cleaning and selection on top of a fitted pipeline (which must outlive
+/// the cleaner).
+class DataCleaner {
+ public:
+  explicit DataCleaner(const DquagPipeline* pipeline,
+                       CleaningPolicy policy = {});
+
+  /// Validates, repairs what is repairable, drops what is not.
+  CleaningResult Clean(const Table& batch) const;
+
+  /// Returns the `keep` rows with the smallest reconstruction errors
+  /// (ties broken by original order). keep > rows returns everything.
+  Table SelectCleanest(const Table& batch, int64_t keep) const;
+
+  /// Per-row reconstruction errors (selection diagnostics).
+  std::vector<double> ScoreRows(const Table& batch) const;
+
+ private:
+  const DquagPipeline* pipeline_;
+  CleaningPolicy policy_;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_CORE_CLEANER_H_

@@ -1,0 +1,104 @@
+#include "core/explainer.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "nn/losses.h"
+
+namespace dquag {
+
+Explainer::Explainer(const DquagPipeline* pipeline) : pipeline_(pipeline) {
+  DQUAG_CHECK(pipeline_ != nullptr);
+  DQUAG_CHECK(pipeline_->fitted());
+}
+
+InstanceExplanation Explainer::Explain(const Table& batch, size_t row) const {
+  DQUAG_CHECK_LT(static_cast<int64_t>(row), batch.num_rows());
+  const Table single = batch.SelectRows({row});
+  const Tensor x = pipeline_->preprocessor().Transform(single);
+  const DquagModel& model = pipeline_->model();
+
+  // Forward the single instance; GAT layers snapshot their attention.
+  const Tensor reconstruction = model.ReconstructValidation(x);
+  const Tensor suggestion = model.ReconstructRepair(x);
+  const Tensor feature_errors = PerFeatureErrors(reconstruction, x);
+
+  const int64_t d = x.dim(1);
+  double total_error = 0.0;
+  for (int64_t c = 0; c < d; ++c) total_error += feature_errors(0, c);
+
+  InstanceExplanation explanation;
+  explanation.threshold = pipeline_->threshold();
+  explanation.error = total_error / static_cast<double>(d);
+  explanation.flagged = explanation.error > explanation.threshold;
+  if (!explanation.flagged) return explanation;
+
+  // Reuse the validator's feature rule by validating the single row.
+  const BatchVerdict verdict = pipeline_->validator().ValidateMatrix(x);
+  DQUAG_CHECK_EQ(verdict.instances.size(), 1u);
+  const InstanceVerdict& inst = verdict.instances[0];
+
+  // Aggregate incoming attention per destination feature across GAT layers.
+  std::map<int64_t, std::map<int64_t, double>> attention_in;
+  const auto gat_layers = model.encoder().gat_layers();
+  for (const GatLayer* layer : gat_layers) {
+    const auto& heads = layer->last_attention();
+    const auto& src = layer->arc_src();
+    const auto& dst = layer->arc_dst();
+    for (const auto& head : heads) {
+      for (size_t e = 0; e < src.size(); ++e) {
+        attention_in[dst[e]][src[e]] += head[e];
+      }
+    }
+  }
+  const double norm =
+      std::max<size_t>(1, gat_layers.size()) *
+      std::max<size_t>(1, gat_layers.empty()
+                              ? 1
+                              : gat_layers[0]->last_attention().size());
+
+  for (int64_t c : inst.suspect_features) {
+    FeatureExplanation fe;
+    fe.feature = c;
+    fe.feature_name = batch.schema().column(c).name;
+    fe.error_share =
+        total_error > 0.0 ? feature_errors(0, c) / total_error : 0.0;
+    fe.observed = x(0, c);
+    fe.suggested = suggestion(0, c);
+    auto it = attention_in.find(c);
+    if (it != attention_in.end()) {
+      for (const auto& [from, weight] : it->second) {
+        fe.influences.push_back({from, weight / static_cast<double>(norm)});
+      }
+      std::sort(fe.influences.begin(), fe.influences.end(),
+                [](const AttentionEdge& a, const AttentionEdge& b) {
+                  return a.weight > b.weight;
+                });
+    }
+    explanation.features.push_back(std::move(fe));
+  }
+  return explanation;
+}
+
+std::string InstanceExplanation::ToString() const {
+  std::ostringstream out;
+  out << "error " << error << " vs threshold " << threshold << " -> "
+      << (flagged ? "FLAGGED" : "ok");
+  for (const FeatureExplanation& fe : features) {
+    out << "\n  " << fe.feature_name << ": " << fe.error_share * 100.0
+        << "% of error; observed " << fe.observed << ", suggested "
+        << fe.suggested;
+    if (!fe.influences.empty()) {
+      out << "; influenced by";
+      const size_t show = std::min<size_t>(3, fe.influences.size());
+      for (size_t i = 0; i < show; ++i) {
+        out << " #" << fe.influences[i].from_feature << " (w="
+            << fe.influences[i].weight << ")";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace dquag

@@ -1,0 +1,86 @@
+#include "core/model.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace dquag {
+
+FeatureDetokenizer::FeatureDetokenizer(int64_t num_features,
+                                       int64_t embedding_dim, Rng& rng)
+    : num_features_(num_features), embedding_dim_(embedding_dim) {
+  weight_ = RegisterParameter(
+      "weight", XavierUniform(num_features, embedding_dim, rng));
+  bias_ = RegisterParameter("bias", Tensor::Zeros({num_features}));
+}
+
+VarPtr FeatureDetokenizer::Forward(const VarPtr& z) const {
+  DQUAG_CHECK_EQ(z->value().ndim(), 3);
+  DQUAG_CHECK_EQ(z->value().dim(1), num_features_);
+  DQUAG_CHECK_EQ(z->value().dim(2), embedding_dim_);
+  // [B, d, h] * [d, h] -> sum over h -> [B, d].
+  VarPtr weighted = ag::Mul(z, weight_);
+  VarPtr reduced = ag::Sum(weighted, /*axis=*/2);
+  return ag::Add(reduced, bias_);
+}
+
+ReconstructionDecoder::ReconstructionDecoder(int64_t num_features,
+                                             int64_t hidden_dim, Rng& rng,
+                                             Activation activation) {
+  mlp_ = std::make_unique<Mlp>(
+      std::vector<int64_t>{hidden_dim, hidden_dim}, activation, rng,
+      /*activate_last=*/true);
+  readout_ = std::make_unique<FeatureDetokenizer>(num_features, hidden_dim,
+                                                  rng);
+  RegisterModule(mlp_.get());
+  RegisterModule(readout_.get());
+}
+
+VarPtr ReconstructionDecoder::Forward(const VarPtr& z) const {
+  return readout_->Forward(mlp_->Forward(z));
+}
+
+DquagModel::DquagModel(const FeatureGraph& graph, const DquagConfig& config,
+                       Rng& rng)
+    : num_features_(graph.num_nodes()) {
+  const int64_t h = config.encoder.hidden_dim;
+  tokenizer_ = std::make_unique<FeatureTokenizer>(num_features_, h, rng);
+  encoder_ = std::make_unique<GnnEncoder>(graph, config.encoder, rng);
+  validation_decoder_ = std::make_unique<ReconstructionDecoder>(
+      num_features_, h, rng, config.encoder.activation);
+  repair_decoder_ = std::make_unique<ReconstructionDecoder>(
+      num_features_, h, rng, config.encoder.activation);
+  RegisterModule(tokenizer_.get());
+  RegisterModule(encoder_.get());
+  RegisterModule(validation_decoder_.get());
+  RegisterModule(repair_decoder_.get());
+}
+
+DquagForward DquagModel::Forward(const VarPtr& x) const {
+  DQUAG_CHECK_EQ(x->value().ndim(), 2);
+  DQUAG_CHECK_EQ(x->value().dim(1), num_features_);
+  VarPtr tokens = tokenizer_->Forward(x);
+  VarPtr z = encoder_->Forward(tokens, x);
+  DquagForward out;
+  out.embeddings = z;
+  out.validation = validation_decoder_->Forward(z);
+  out.repair = repair_decoder_->Forward(z);
+  return out;
+}
+
+Tensor DquagModel::ReconstructValidation(const Tensor& x) const {
+  NoGradGuard no_grad;
+  VarPtr input = MakeVar(x);
+  VarPtr tokens = tokenizer_->Forward(input);
+  VarPtr z = encoder_->Forward(tokens, input);
+  return validation_decoder_->Forward(z)->value();
+}
+
+Tensor DquagModel::ReconstructRepair(const Tensor& x) const {
+  NoGradGuard no_grad;
+  VarPtr input = MakeVar(x);
+  VarPtr tokens = tokenizer_->Forward(input);
+  VarPtr z = encoder_->Forward(tokens, input);
+  return repair_decoder_->Forward(z)->value();
+}
+
+}  // namespace dquag

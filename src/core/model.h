@@ -1,0 +1,86 @@
+// The DQuaG network: shared GNN encoder + dual decoders (paper §3.1.2).
+//
+//   X [B, d]  --FeatureTokenizer-->  H0 [B, d, h]
+//             --GnnEncoder------->   Z  [B, d, h]
+//             --ValidationDecoder--> X_hat   [B, d]   (quality validation)
+//             --RepairDecoder------> X_tilde [B, d]   (repair suggestion)
+//
+// Both decoders share the structure MLP(h -> h) + per-feature read-out; they
+// differ only in their loss (weighted vs plain MSE) and downstream use. The
+// encoder is shared across the two tasks — the multi-task setup of §3.1.2.
+
+#ifndef DQUAG_CORE_MODEL_H_
+#define DQUAG_CORE_MODEL_H_
+
+#include <memory>
+
+#include "core/config.h"
+#include "nn/feature_tokenizer.h"
+#include "nn/linear.h"
+
+namespace dquag {
+
+/// Per-feature read-out: x_hat[b, f] = <Z'[b, f, :], V[f, :]> + c[f].
+/// The mirror image of FeatureTokenizer — every column owns its projection.
+class FeatureDetokenizer : public Module {
+ public:
+  FeatureDetokenizer(int64_t num_features, int64_t embedding_dim, Rng& rng);
+
+  /// z: [B, d, h] -> [B, d].
+  VarPtr Forward(const VarPtr& z) const;
+
+ private:
+  int64_t num_features_;
+  int64_t embedding_dim_;
+  VarPtr weight_;  // [d, h]
+  VarPtr bias_;    // [d] (stored as [d, 1]-free vector)
+};
+
+/// One decoder head: shared MLP over embeddings, then per-feature read-out.
+class ReconstructionDecoder : public Module {
+ public:
+  ReconstructionDecoder(int64_t num_features, int64_t hidden_dim, Rng& rng,
+                        Activation activation);
+
+  /// z: [B, d, h] -> [B, d].
+  VarPtr Forward(const VarPtr& z) const;
+
+ private:
+  std::unique_ptr<Mlp> mlp_;
+  std::unique_ptr<FeatureDetokenizer> readout_;
+};
+
+struct DquagForward {
+  VarPtr validation;  // X_hat   [B, d]
+  VarPtr repair;      // X_tilde [B, d]
+  VarPtr embeddings;  // Z       [B, d, h]
+};
+
+class DquagModel : public Module {
+ public:
+  /// `graph` is the feature graph over the (preprocessed) columns.
+  DquagModel(const FeatureGraph& graph, const DquagConfig& config, Rng& rng);
+
+  /// Full forward through both decoders. `x` is [B, d] preprocessed rows.
+  DquagForward Forward(const VarPtr& x) const;
+
+  /// Tape-free reconstruction of the validation head: [B, d] -> [B, d].
+  Tensor ReconstructValidation(const Tensor& x) const;
+
+  /// Tape-free reconstruction of the repair head.
+  Tensor ReconstructRepair(const Tensor& x) const;
+
+  int64_t num_features() const { return num_features_; }
+  const GnnEncoder& encoder() const { return *encoder_; }
+
+ private:
+  int64_t num_features_;
+  std::unique_ptr<FeatureTokenizer> tokenizer_;
+  std::unique_ptr<GnnEncoder> encoder_;
+  std::unique_ptr<ReconstructionDecoder> validation_decoder_;
+  std::unique_ptr<ReconstructionDecoder> repair_decoder_;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_CORE_MODEL_H_

@@ -1,0 +1,59 @@
+#include "core/monitor.h"
+
+namespace dquag {
+
+QualityMonitor::QualityMonitor(const DquagPipeline* pipeline,
+                               MonitorOptions options)
+    : pipeline_(pipeline), options_(options) {
+  DQUAG_CHECK(pipeline_ != nullptr);
+  DQUAG_CHECK(pipeline_->fitted());
+  DQUAG_CHECK_GT(options_.ewma_alpha, 0.0);
+  DQUAG_CHECK_LE(options_.ewma_alpha, 1.0);
+}
+
+MonitorObservation QualityMonitor::Observe(const Table& batch) {
+  const BatchVerdict verdict = pipeline_->Validate(batch);
+
+  if (!ewma_initialized_) {
+    ewma_ = verdict.flagged_fraction;
+    ewma_initialized_ = true;
+  } else {
+    ewma_ = options_.ewma_alpha * verdict.flagged_fraction +
+            (1.0 - options_.ewma_alpha) * ewma_;
+  }
+
+  MonitorObservation observation;
+  observation.batch_index = static_cast<int64_t>(history_.size());
+  observation.flagged_fraction = verdict.flagged_fraction;
+  observation.smoothed_fraction = ewma_;
+  observation.batch_dirty = verdict.is_dirty;
+  const double alarm_level =
+      pipeline_->validator().batch_cutoff() * options_.alarm_multiplier;
+  observation.alarm =
+      observation.batch_index + 1 >= options_.warmup_batches &&
+      ewma_ > alarm_level;
+  history_.push_back(observation);
+  return observation;
+}
+
+bool QualityMonitor::alarming() const {
+  return !history_.empty() && history_.back().alarm;
+}
+
+double QualityMonitor::DirtyBatchRate() const {
+  if (history_.empty()) return 0.0;
+  int64_t dirty = 0;
+  for (const MonitorObservation& obs : history_) {
+    dirty += obs.batch_dirty ? 1 : 0;
+  }
+  return static_cast<double>(dirty) /
+         static_cast<double>(history_.size());
+}
+
+void QualityMonitor::Reset() {
+  history_.clear();
+  ewma_ = 0.0;
+  ewma_initialized_ = false;
+}
+
+}  // namespace dquag

@@ -1,0 +1,70 @@
+// Streaming quality monitoring over batch sequences.
+//
+// Deployments validate data continuously, not once; the paper frames its
+// batch rule exactly this way ("the parameter n can be adjusted based on
+// observed reconstruction errors after deployment", §3.2.1). QualityMonitor
+// tracks the flagged fraction of each incoming batch, smooths it with an
+// EWMA, raises an alarm when the smoothed rate crosses the batch cutoff,
+// and keeps enough history to distinguish one bad batch from sustained
+// degradation.
+
+#ifndef DQUAG_CORE_MONITOR_H_
+#define DQUAG_CORE_MONITOR_H_
+
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace dquag {
+
+struct MonitorOptions {
+  /// EWMA smoothing factor in (0, 1]; 1 = no smoothing.
+  double ewma_alpha = 0.3;
+  /// Alarm level as a multiple of the pipeline's batch cutoff. 1.0 alarms
+  /// exactly at the cutoff.
+  double alarm_multiplier = 1.0;
+  /// Batches observed before alarms may fire (EWMA warm-up).
+  int64_t warmup_batches = 3;
+};
+
+/// One observed batch in the stream.
+struct MonitorObservation {
+  int64_t batch_index = 0;
+  double flagged_fraction = 0.0;
+  double smoothed_fraction = 0.0;
+  bool batch_dirty = false;  // single-batch verdict (paper rule)
+  bool alarm = false;        // sustained degradation (EWMA over cutoff)
+};
+
+class QualityMonitor {
+ public:
+  /// The pipeline must be fitted and outlive the monitor.
+  explicit QualityMonitor(const DquagPipeline* pipeline,
+                          MonitorOptions options = {});
+
+  /// Validates the batch and updates the stream state.
+  MonitorObservation Observe(const Table& batch);
+
+  /// All observations so far, oldest first.
+  const std::vector<MonitorObservation>& history() const { return history_; }
+
+  /// True if the last observation raised the alarm.
+  bool alarming() const;
+
+  /// Fraction of observed batches whose single-batch verdict was dirty.
+  double DirtyBatchRate() const;
+
+  /// Clears the stream state (e.g., after retraining upstream).
+  void Reset();
+
+ private:
+  const DquagPipeline* pipeline_;
+  MonitorOptions options_;
+  std::vector<MonitorObservation> history_;
+  double ewma_ = 0.0;
+  bool ewma_initialized_ = false;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_CORE_MONITOR_H_

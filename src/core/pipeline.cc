@@ -1,0 +1,123 @@
+#include "core/pipeline.h"
+
+#include "util/logging.h"
+
+namespace dquag {
+
+std::vector<MinerColumn> TableToMinerColumns(const Table& table) {
+  std::vector<MinerColumn> columns;
+  const int64_t d = table.num_columns();
+  columns.reserve(static_cast<size_t>(d));
+  for (int64_t c = 0; c < d; ++c) {
+    MinerColumn column;
+    column.name = table.schema().column(c).name;
+    if (table.schema().column(c).type == ColumnType::kCategorical) {
+      column.is_categorical = true;
+      // Integer codes via a local encoder (fit-on-the-fly).
+      LabelEncoder encoder;
+      encoder.Fit(table.Categorical(c));
+      column.values.reserve(static_cast<size_t>(table.num_rows()));
+      for (const std::string& v : table.Categorical(c)) {
+        column.values.push_back(static_cast<double>(encoder.Encode(v)));
+      }
+    } else {
+      column.is_categorical = false;
+      column.values.reserve(static_cast<size_t>(table.num_rows()));
+      for (double v : table.Numeric(c)) {
+        // Missing numerics would poison correlations; substitute 0.
+        column.values.push_back(IsMissing(v) ? 0.0 : v);
+      }
+    }
+    columns.push_back(std::move(column));
+  }
+  return columns;
+}
+
+DquagPipeline::DquagPipeline(DquagPipelineOptions options)
+    : options_(std::move(options)),
+      preprocessor_(std::make_unique<TablePreprocessor>()) {}
+
+Status DquagPipeline::Fit(const Table& clean) {
+  if (fitted()) {
+    return Status::FailedPrecondition("pipeline is already fitted");
+  }
+  if (clean.num_rows() == 0) {
+    return Status::InvalidArgument("clean dataset is empty");
+  }
+
+  // 1. Feature encoding and normalization (§3.1).
+  preprocessor_->Fit(clean);
+
+  // 2. Feature-graph construction (§3.1.1) — external relationships if
+  //    provided, otherwise statistical mining (the ChatGPT-4 substitute).
+  if (options_.relationships.has_value()) {
+    relationships_used_ = *options_.relationships;
+  } else {
+    relationships_used_ =
+        MineRelationships(TableToMinerColumns(clean), options_.miner);
+  }
+  auto graph_or = FeatureGraph::FromRelationships(clean.schema().Names(),
+                                                  relationships_used_);
+  if (!graph_or.ok()) return graph_or.status();
+  graph_ = std::make_unique<FeatureGraph>(std::move(graph_or).value());
+  DQUAG_LOG(INFO) << "feature graph: " << graph_->ToString() << " from "
+                  << relationships_used_.size() << " relationships";
+
+  // 3. Model construction and training (§3.1.2 / §3.1.3).
+  Rng rng(options_.config.seed);
+  model_ = std::make_unique<DquagModel>(*graph_, options_.config, rng);
+  Trainer trainer(model_.get(), options_.config);
+  report_ = trainer.Fit(preprocessor_->Transform(clean));
+  DQUAG_LOG(INFO) << "trained " << report_.epochs_run << " epochs, threshold "
+                  << report_.error_statistics.threshold;
+
+  // 4. Phase-2 components.
+  validator_ = std::make_unique<Validator>(model_.get(), preprocessor_.get(),
+                                           report_.error_statistics.threshold,
+                                           options_.config);
+  repairer_ = std::make_unique<Repairer>(model_.get(), preprocessor_.get(),
+                                         options_.config);
+  return Status::Ok();
+}
+
+BatchVerdict DquagPipeline::Validate(const Table& batch) const {
+  DQUAG_CHECK(fitted());
+  return validator_->Validate(batch);
+}
+
+RepairResult DquagPipeline::Repair(const Table& batch,
+                                   const BatchVerdict& verdict) const {
+  DQUAG_CHECK(fitted());
+  return repairer_->Repair(batch, verdict);
+}
+
+RepairResult DquagPipeline::ValidateAndRepair(const Table& batch) const {
+  return Repair(batch, Validate(batch));
+}
+
+const FeatureGraph& DquagPipeline::graph() const {
+  DQUAG_CHECK(fitted());
+  return *graph_;
+}
+
+const TrainingReport& DquagPipeline::training_report() const {
+  DQUAG_CHECK(fitted());
+  return report_;
+}
+
+const DquagModel& DquagPipeline::model() const {
+  DQUAG_CHECK(fitted());
+  return *model_;
+}
+
+const Validator& DquagPipeline::validator() const {
+  DQUAG_CHECK(fitted());
+  return *validator_;
+}
+
+double DquagPipeline::threshold() const {
+  DQUAG_CHECK(fitted());
+  return report_.error_statistics.threshold;
+}
+
+}  // namespace dquag

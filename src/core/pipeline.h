@@ -1,0 +1,95 @@
+// End-to-end DQuaG pipeline: the library's main entry point.
+//
+//   DquagPipeline pipeline(options);
+//   pipeline.Fit(clean_table);               // Phase 1 (§3.1)
+//   BatchVerdict v = pipeline.Validate(new_table);   // Phase 2 (§3.2.1)
+//   RepairResult r = pipeline.Repair(new_table, v);  // Phase 2 (§3.2.2)
+//
+// Fit performs, in order: feature encoding/normalization, feature-graph
+// construction (statistically mined relationships, or relationships supplied
+// externally — e.g. from an actual LLM), GNN training with the dual-decoder
+// multi-task loss, and reconstruction-error threshold collection.
+
+#ifndef DQUAG_CORE_PIPELINE_H_
+#define DQUAG_CORE_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/repairer.h"
+#include "core/trainer.h"
+#include "core/validator.h"
+#include "graph/relationship_inference.h"
+
+namespace dquag {
+
+struct DquagPipelineOptions {
+  DquagConfig config;
+  RelationshipMinerOptions miner;
+  /// When set, skips statistical mining and uses these relationships for
+  /// the feature graph (the paper's ChatGPT-4 path).
+  std::optional<std::vector<FeatureRelationship>> relationships;
+};
+
+/// Converts a table into miner columns (categoricals as integer codes).
+std::vector<MinerColumn> TableToMinerColumns(const Table& table);
+
+class DquagPipeline {
+ public:
+  explicit DquagPipeline(DquagPipelineOptions options = {});
+
+  DquagPipeline(const DquagPipeline&) = delete;
+  DquagPipeline& operator=(const DquagPipeline&) = delete;
+  DquagPipeline(DquagPipeline&&) = default;
+  DquagPipeline& operator=(DquagPipeline&&) = default;
+
+  /// Phase 1: trains on the clean table. Must be called exactly once.
+  Status Fit(const Table& clean);
+
+  /// Phase 2: validates a new batch (same schema as the training table).
+  BatchVerdict Validate(const Table& batch) const;
+
+  /// Phase 2: repairs the cells flagged by `verdict`.
+  RepairResult Repair(const Table& batch, const BatchVerdict& verdict) const;
+
+  /// Validate + Repair in one call.
+  RepairResult ValidateAndRepair(const Table& batch) const;
+
+  /// Writes a fitted pipeline (config, schema, preprocessing statistics,
+  /// feature graph, model parameters, error threshold) to a binary
+  /// checkpoint. Phase 1 is expensive; checkpoints make Phase 2 deployable
+  /// without retraining.
+  Status Save(const std::string& path) const;
+
+  /// Restores a pipeline from Save(); the result validates and repairs
+  /// identically to the original.
+  static StatusOr<DquagPipeline> Load(const std::string& path);
+
+  bool fitted() const { return model_ != nullptr; }
+  const FeatureGraph& graph() const;
+  const TrainingReport& training_report() const;
+  const TablePreprocessor& preprocessor() const { return *preprocessor_; }
+  const DquagModel& model() const;
+  const Validator& validator() const;
+  double threshold() const;
+  const std::vector<FeatureRelationship>& relationships() const {
+    return relationships_used_;
+  }
+
+ private:
+  DquagPipelineOptions options_;
+  // unique_ptr keeps the address stable across pipeline moves — validator_
+  // and repairer_ hold raw pointers to it.
+  std::unique_ptr<TablePreprocessor> preprocessor_;
+  std::vector<FeatureRelationship> relationships_used_;
+  std::unique_ptr<FeatureGraph> graph_;
+  std::unique_ptr<DquagModel> model_;
+  std::unique_ptr<Validator> validator_;
+  std::unique_ptr<Repairer> repairer_;
+  TrainingReport report_;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_CORE_PIPELINE_H_

@@ -1,0 +1,81 @@
+#include "core/repairer.h"
+
+#include <algorithm>
+
+namespace dquag {
+
+Repairer::Repairer(const DquagModel* model,
+                   const TablePreprocessor* preprocessor,
+                   const DquagConfig& config)
+    : model_(model), preprocessor_(preprocessor), config_(config) {
+  DQUAG_CHECK(model_ != nullptr);
+}
+
+Tensor Repairer::RepairMatrix(const Tensor& matrix,
+                              const BatchVerdict& verdict,
+                              int64_t* cells_repaired) const {
+  DQUAG_CHECK_EQ(matrix.ndim(), 2);
+  const int64_t rows = matrix.dim(0);
+  const int64_t d = matrix.dim(1);
+  DQUAG_CHECK_EQ(static_cast<int64_t>(verdict.instances.size()), rows);
+
+  Tensor repaired = matrix;
+  int64_t repaired_cells = 0;
+  const int64_t chunk = config_.inference_chunk_rows;
+  for (int64_t start = 0; start < rows; start += chunk) {
+    const int64_t end = std::min(rows, start + chunk);
+    // Skip chunks with no flagged instance.
+    bool any = false;
+    for (int64_t r = start; r < end && !any; ++r) {
+      any = verdict.instances[static_cast<size_t>(r)].flagged;
+    }
+    if (!any) continue;
+    Tensor slice({end - start, d});
+    std::copy(matrix.data() + start * d, matrix.data() + end * d,
+              slice.data());
+    Tensor suggestion = model_->ReconstructRepair(slice);
+    for (int64_t r = start; r < end; ++r) {
+      const InstanceVerdict& inst =
+          verdict.instances[static_cast<size_t>(r)];
+      if (!inst.flagged) continue;
+      for (int64_t c : inst.suspect_features) {
+        repaired(r, c) = suggestion(r - start, c);
+        ++repaired_cells;
+      }
+    }
+  }
+  if (cells_repaired) *cells_repaired = repaired_cells;
+  return repaired;
+}
+
+RepairResult Repairer::Repair(const Table& batch,
+                              const BatchVerdict& verdict) const {
+  DQUAG_CHECK(preprocessor_ != nullptr);
+  const Tensor matrix = preprocessor_->Transform(batch);
+  RepairResult result;
+  Tensor repaired_matrix =
+      RepairMatrix(matrix, verdict, &result.cells_repaired);
+  for (const InstanceVerdict& inst : verdict.instances) {
+    if (inst.flagged && !inst.suspect_features.empty()) {
+      ++result.instances_repaired;
+    }
+  }
+  // InverseTransform handles the categorical snap-to-nearest-code rule.
+  Table decoded = preprocessor_->InverseTransform(repaired_matrix);
+  // Only repaired cells should change; copy original values elsewhere so
+  // numeric round-trips do not perturb untouched data.
+  result.repaired = batch;
+  for (size_t r : verdict.flagged_rows) {
+    const InstanceVerdict& inst = verdict.instances[r];
+    for (int64_t c : inst.suspect_features) {
+      if (batch.schema().column(c).type == ColumnType::kNumeric) {
+        result.repaired.Numeric(c)[r] = decoded.Numeric(c)[r];
+      } else {
+        result.repaired.Categorical(c)[r] = decoded.Categorical(c)[r];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dquag

@@ -1,0 +1,46 @@
+// Repair suggestion generation (paper §3.2.2).
+//
+// The repair decoder produces a fully repaired feature vector for every
+// instance; repairs are applied selectively — only to the (instance,
+// feature) pairs flagged by the validator. Categorical features snap to the
+// most likely valid category; numeric features take the decoder's value
+// mapped back through the inverse min-max transform.
+
+#ifndef DQUAG_CORE_REPAIRER_H_
+#define DQUAG_CORE_REPAIRER_H_
+
+#include "core/validator.h"
+
+namespace dquag {
+
+struct RepairResult {
+  Table repaired;
+  /// Number of (instance, feature) cells modified.
+  int64_t cells_repaired = 0;
+  /// Number of instances with at least one repaired cell.
+  int64_t instances_repaired = 0;
+};
+
+class Repairer {
+ public:
+  Repairer(const DquagModel* model, const TablePreprocessor* preprocessor,
+           const DquagConfig& config);
+
+  /// Repairs the flagged cells of `batch` according to `verdict` (which must
+  /// come from validating the same batch).
+  RepairResult Repair(const Table& batch, const BatchVerdict& verdict) const;
+
+  /// Matrix-level repair (preprocessed space): returns a copy of `matrix`
+  /// with flagged cells replaced by repair-decoder outputs.
+  Tensor RepairMatrix(const Tensor& matrix, const BatchVerdict& verdict,
+                      int64_t* cells_repaired = nullptr) const;
+
+ private:
+  const DquagModel* model_;
+  const TablePreprocessor* preprocessor_;
+  DquagConfig config_;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_CORE_REPAIRER_H_

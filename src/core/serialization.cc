@@ -1,0 +1,252 @@
+// Checkpoint format for DquagPipeline::Save / Load.
+//
+// Layout (little-endian, length-prefixed):
+//   magic "DQAG" + version
+//   DquagConfig fields
+//   Schema (columns: name, type, description)
+//   relationships used for the feature graph
+//   per-column preprocessing statistics (vocabulary or min/max)
+//   error statistics (threshold, mean, stddev, min, max)
+//   model parameters, in Module::Parameters() order (deterministic)
+
+#include "core/pipeline.h"
+#include "util/binary_io.h"
+
+namespace dquag {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4741514400000001ULL;  // "DQAG" + version 1
+
+void WriteConfig(BinaryWriter& w, const DquagConfig& config) {
+  w.WriteI64(static_cast<int64_t>(config.encoder.kind));
+  w.WriteI64(config.encoder.num_layers);
+  w.WriteI64(config.encoder.hidden_dim);
+  w.WriteI64(config.encoder.num_heads);
+  w.WriteI64(static_cast<int64_t>(config.encoder.activation));
+  w.WriteI64(config.batch_size);
+  w.WriteDouble(config.learning_rate);
+  w.WriteI64(config.epochs);
+  w.WriteDouble(config.alpha);
+  w.WriteDouble(config.beta);
+  w.WriteDouble(config.input_mask_prob);
+  w.WriteI64(config.disable_loss_weighting ? 1 : 0);
+  w.WriteDouble(config.threshold_percentile);
+  w.WriteDouble(config.calibration_fraction);
+  w.WriteDouble(config.batch_flag_multiplier);
+  w.WriteDouble(config.feature_sigma_k);
+  w.WriteI64(config.inference_chunk_rows);
+  w.WriteU64(config.seed);
+}
+
+Status ReadConfig(BinaryReader& r, DquagConfig& config) {
+  DQUAG_ASSIGN_OR_RETURN(int64_t kind, r.ReadI64());
+  config.encoder.kind = static_cast<EncoderKind>(kind);
+  DQUAG_ASSIGN_OR_RETURN(config.encoder.num_layers, r.ReadI64());
+  DQUAG_ASSIGN_OR_RETURN(config.encoder.hidden_dim, r.ReadI64());
+  DQUAG_ASSIGN_OR_RETURN(config.encoder.num_heads, r.ReadI64());
+  DQUAG_ASSIGN_OR_RETURN(int64_t activation, r.ReadI64());
+  config.encoder.activation = static_cast<Activation>(activation);
+  DQUAG_ASSIGN_OR_RETURN(config.batch_size, r.ReadI64());
+  DQUAG_ASSIGN_OR_RETURN(double lr, r.ReadDouble());
+  config.learning_rate = static_cast<float>(lr);
+  DQUAG_ASSIGN_OR_RETURN(config.epochs, r.ReadI64());
+  DQUAG_ASSIGN_OR_RETURN(double alpha, r.ReadDouble());
+  config.alpha = static_cast<float>(alpha);
+  DQUAG_ASSIGN_OR_RETURN(double beta, r.ReadDouble());
+  config.beta = static_cast<float>(beta);
+  DQUAG_ASSIGN_OR_RETURN(double mask, r.ReadDouble());
+  config.input_mask_prob = static_cast<float>(mask);
+  DQUAG_ASSIGN_OR_RETURN(int64_t unweighted, r.ReadI64());
+  config.disable_loss_weighting = unweighted != 0;
+  DQUAG_ASSIGN_OR_RETURN(config.threshold_percentile, r.ReadDouble());
+  DQUAG_ASSIGN_OR_RETURN(config.calibration_fraction, r.ReadDouble());
+  DQUAG_ASSIGN_OR_RETURN(config.batch_flag_multiplier, r.ReadDouble());
+  DQUAG_ASSIGN_OR_RETURN(config.feature_sigma_k, r.ReadDouble());
+  DQUAG_ASSIGN_OR_RETURN(config.inference_chunk_rows, r.ReadI64());
+  DQUAG_ASSIGN_OR_RETURN(config.seed, r.ReadU64());
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status DquagPipeline::Save(const std::string& path) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("cannot save an unfitted pipeline");
+  }
+  BinaryWriter w;
+  w.WriteU64(kMagic);
+  WriteConfig(w, options_.config);
+
+  // Schema.
+  const Schema& schema = preprocessor_->schema();
+  w.WriteI64(schema.num_columns());
+  for (int64_t c = 0; c < schema.num_columns(); ++c) {
+    const ColumnSpec& spec = schema.column(c);
+    w.WriteString(spec.name);
+    w.WriteI64(spec.type == ColumnType::kCategorical ? 1 : 0);
+    w.WriteString(spec.description);
+  }
+
+  // Relationships (the feature graph is rebuilt from them on load).
+  w.WriteU64(relationships_used_.size());
+  for (const FeatureRelationship& rel : relationships_used_) {
+    w.WriteString(rel.feature1);
+    w.WriteString(rel.feature2);
+    w.WriteDouble(rel.score);
+    w.WriteString(rel.kind);
+  }
+
+  // Preprocessing statistics per column.
+  for (int64_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.column(c).type == ColumnType::kCategorical) {
+      const auto& vocabulary = preprocessor_->label_encoder(c).vocabulary();
+      w.WriteU64(vocabulary.size());
+      for (const std::string& v : vocabulary) w.WriteString(v);
+    } else {
+      const MinMaxScaler& scaler = preprocessor_->minmax_scaler(c);
+      w.WriteDouble(scaler.min());
+      w.WriteDouble(scaler.max());
+    }
+  }
+
+  // Error statistics.
+  const ErrorStatistics& stats = report_.error_statistics;
+  w.WriteDouble(stats.threshold);
+  w.WriteDouble(stats.mean);
+  w.WriteDouble(stats.stddev);
+  w.WriteDouble(stats.min);
+  w.WriteDouble(stats.max);
+
+  // Model parameters (deterministic registration order).
+  const std::vector<VarPtr> parameters = model_->Parameters();
+  w.WriteU64(parameters.size());
+  for (const VarPtr& p : parameters) {
+    const Tensor& value = p->value();
+    w.WriteI64(value.ndim());
+    for (int64_t i = 0; i < value.ndim(); ++i) w.WriteI64(value.dim(i));
+    w.WriteFloatArray(value.data(), static_cast<size_t>(value.numel()));
+  }
+  return w.SaveToFile(path);
+}
+
+StatusOr<DquagPipeline> DquagPipeline::Load(const std::string& path) {
+  auto reader_or = BinaryReader::FromFile(path);
+  if (!reader_or.ok()) return reader_or.status();
+  BinaryReader r = std::move(reader_or).value();
+
+  DQUAG_ASSIGN_OR_RETURN(uint64_t magic, r.ReadU64());
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a DQuaG checkpoint: " + path);
+  }
+
+  DquagPipelineOptions options;
+  DQUAG_RETURN_IF_ERROR(ReadConfig(r, options.config));
+
+  // Schema.
+  DQUAG_ASSIGN_OR_RETURN(int64_t num_columns, r.ReadI64());
+  if (num_columns <= 0 || num_columns > 1 << 20) {
+    return Status::InvalidArgument("implausible column count");
+  }
+  std::vector<ColumnSpec> columns;
+  columns.reserve(static_cast<size_t>(num_columns));
+  for (int64_t c = 0; c < num_columns; ++c) {
+    ColumnSpec spec;
+    DQUAG_ASSIGN_OR_RETURN(spec.name, r.ReadString());
+    DQUAG_ASSIGN_OR_RETURN(int64_t type, r.ReadI64());
+    spec.type = type == 1 ? ColumnType::kCategorical : ColumnType::kNumeric;
+    DQUAG_ASSIGN_OR_RETURN(spec.description, r.ReadString());
+    columns.push_back(std::move(spec));
+  }
+  Schema schema(std::move(columns));
+
+  // Relationships.
+  DQUAG_ASSIGN_OR_RETURN(uint64_t num_relationships, r.ReadU64());
+  std::vector<FeatureRelationship> relationships;
+  relationships.reserve(num_relationships);
+  for (uint64_t i = 0; i < num_relationships; ++i) {
+    FeatureRelationship rel;
+    DQUAG_ASSIGN_OR_RETURN(rel.feature1, r.ReadString());
+    DQUAG_ASSIGN_OR_RETURN(rel.feature2, r.ReadString());
+    DQUAG_ASSIGN_OR_RETURN(rel.score, r.ReadDouble());
+    DQUAG_ASSIGN_OR_RETURN(rel.kind, r.ReadString());
+    relationships.push_back(std::move(rel));
+  }
+
+  // Preprocessing statistics.
+  std::vector<LabelEncoder> encoders(static_cast<size_t>(num_columns));
+  std::vector<MinMaxScaler> scalers(static_cast<size_t>(num_columns));
+  for (int64_t c = 0; c < num_columns; ++c) {
+    if (schema.column(c).type == ColumnType::kCategorical) {
+      DQUAG_ASSIGN_OR_RETURN(uint64_t vocab_size, r.ReadU64());
+      std::vector<std::string> vocabulary;
+      vocabulary.reserve(vocab_size);
+      for (uint64_t i = 0; i < vocab_size; ++i) {
+        DQUAG_ASSIGN_OR_RETURN(std::string value, r.ReadString());
+        vocabulary.push_back(std::move(value));
+      }
+      encoders[static_cast<size_t>(c)].SetVocabulary(std::move(vocabulary));
+    } else {
+      DQUAG_ASSIGN_OR_RETURN(double lo, r.ReadDouble());
+      DQUAG_ASSIGN_OR_RETURN(double hi, r.ReadDouble());
+      scalers[static_cast<size_t>(c)].SetRange(lo, hi);
+    }
+  }
+
+  // Error statistics.
+  ErrorStatistics stats;
+  DQUAG_ASSIGN_OR_RETURN(stats.threshold, r.ReadDouble());
+  DQUAG_ASSIGN_OR_RETURN(stats.mean, r.ReadDouble());
+  DQUAG_ASSIGN_OR_RETURN(stats.stddev, r.ReadDouble());
+  DQUAG_ASSIGN_OR_RETURN(stats.min, r.ReadDouble());
+  DQUAG_ASSIGN_OR_RETURN(stats.max, r.ReadDouble());
+
+  // Assemble the pipeline.
+  DquagPipeline pipeline(std::move(options));
+  pipeline.relationships_used_ = std::move(relationships);
+  pipeline.preprocessor_->Restore(schema, std::move(encoders),
+                                 std::move(scalers));
+  auto graph_or =
+      FeatureGraph::FromRelationships(schema.Names(),
+                                      pipeline.relationships_used_);
+  if (!graph_or.ok()) return graph_or.status();
+  pipeline.graph_ = std::make_unique<FeatureGraph>(std::move(graph_or).value());
+
+  Rng rng(pipeline.options_.config.seed);
+  pipeline.model_ = std::make_unique<DquagModel>(
+      *pipeline.graph_, pipeline.options_.config, rng);
+
+  // Overwrite freshly initialized parameters with the stored ones.
+  DQUAG_ASSIGN_OR_RETURN(uint64_t num_parameters, r.ReadU64());
+  const std::vector<VarPtr> parameters = pipeline.model_->Parameters();
+  if (num_parameters != parameters.size()) {
+    return Status::InvalidArgument(
+        "checkpoint parameter count mismatch: stored " +
+        std::to_string(num_parameters) + ", model has " +
+        std::to_string(parameters.size()));
+  }
+  for (const VarPtr& p : parameters) {
+    DQUAG_ASSIGN_OR_RETURN(int64_t ndim, r.ReadI64());
+    Shape shape;
+    for (int64_t i = 0; i < ndim; ++i) {
+      DQUAG_ASSIGN_OR_RETURN(int64_t dim, r.ReadI64());
+      shape.push_back(dim);
+    }
+    if (shape != p->value().shape()) {
+      return Status::InvalidArgument("checkpoint parameter shape mismatch");
+    }
+    DQUAG_RETURN_IF_ERROR(r.ReadFloatArray(
+        p->mutable_value().data(), static_cast<size_t>(p->value().numel())));
+  }
+
+  pipeline.report_.error_statistics = stats;
+  pipeline.validator_ = std::make_unique<Validator>(
+      pipeline.model_.get(), pipeline.preprocessor_.get(), stats.threshold,
+      pipeline.options_.config);
+  pipeline.repairer_ = std::make_unique<Repairer>(
+      pipeline.model_.get(), pipeline.preprocessor_.get(),
+      pipeline.options_.config);
+  return pipeline;
+}
+
+}  // namespace dquag

@@ -1,0 +1,153 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+
+#include "autograd/ops.h"
+#include "data/preprocessor.h"
+#include "nn/losses.h"
+#include "tensor/tensor_ops.h"
+
+namespace dquag {
+
+Trainer::Trainer(DquagModel* model, const DquagConfig& config)
+    : model_(model),
+      config_(config),
+      optimizer_(model->Parameters(),
+                 AdamOptions{.learning_rate = config.learning_rate}),
+      rng_(config.seed ^ 0x7261696e65720000ULL) {}
+
+double Trainer::Step(const Tensor& batch) {
+  DQUAG_CHECK_EQ(batch.dim(1), model_->num_features());
+
+  // Denoising mask: corrupt a fraction of input cells while the target
+  // stays clean. Corruptions mirror what Phase 2 will see — uniform noise
+  // (anomalies), the missing sentinel, and the unknown-category sentinel —
+  // so the decoders learn to reconstruct the true value from *related*
+  // features instead of extrapolating an identity map (an identity map
+  // reproduces out-of-range sentinels perfectly and would make missing
+  // values invisible).
+  Tensor masked = batch;
+  if (config_.input_mask_prob > 0.0f) {
+    float* data = masked.data();
+    const int64_t n = masked.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      if (!rng_.Bernoulli(config_.input_mask_prob)) continue;
+      const double pick = rng_.Uniform();
+      if (pick < 0.5) {
+        data[i] = static_cast<float>(rng_.Uniform());
+      } else if (pick < 0.75) {
+        data[i] = static_cast<float>(MinMaxScaler::kMissingSentinel);
+      } else {
+        data[i] = static_cast<float>(TablePreprocessor::kUnknownSentinel);
+      }
+    }
+  }
+
+  VarPtr input = MakeVar(masked);
+  VarPtr target = MakeVar(batch);
+  DquagForward out = model_->Forward(input);
+
+  // Per-sample weights from detached validation errors (§3.1.2). The
+  // ablation switch falls back to uniform weights (plain MSE).
+  VarPtr validation_loss;
+  if (config_.disable_loss_weighting) {
+    validation_loss = MseLoss(out.validation, target);
+  } else {
+    Tensor errors = PerSampleErrors(out.validation->value(), batch);
+    Tensor weights = ErrorsToWeights(errors);
+    validation_loss = WeightedMseLoss(out.validation, target, weights);
+  }
+  VarPtr repair_loss = MseLoss(out.repair, target);
+  VarPtr total = ag::Add(ag::MulScalar(validation_loss, config_.alpha),
+                         ag::MulScalar(repair_loss, config_.beta));
+
+  optimizer_.ZeroGrad();
+  Backward(total);
+  optimizer_.Step();
+  return total->value()[0];
+}
+
+TrainingReport Trainer::Fit(const Tensor& clean_matrix) {
+  DQUAG_CHECK_EQ(clean_matrix.ndim(), 2);
+  const int64_t rows = clean_matrix.dim(0);
+  const int64_t d = clean_matrix.dim(1);
+  DQUAG_CHECK_EQ(d, model_->num_features());
+
+  // Hold out a calibration split for the error threshold (config comment
+  // explains the deviation from in-sample thresholding).
+  int64_t calibration_rows = static_cast<int64_t>(
+      config_.calibration_fraction * static_cast<double>(rows));
+  if (rows - calibration_rows < config_.batch_size) calibration_rows = 0;
+  std::vector<size_t> permutation(static_cast<size_t>(rows));
+  for (size_t i = 0; i < permutation.size(); ++i) permutation[i] = i;
+  rng_.Shuffle(permutation);
+
+  const int64_t train_rows = rows - calibration_rows;
+  auto copy_rows = [&](int64_t from, int64_t count) {
+    Tensor block({count, d});
+    for (int64_t r = 0; r < count; ++r) {
+      const size_t src = permutation[static_cast<size_t>(from + r)];
+      std::copy(clean_matrix.data() + src * static_cast<size_t>(d),
+                clean_matrix.data() + (src + 1) * static_cast<size_t>(d),
+                block.data() + r * d);
+    }
+    return block;
+  };
+  Tensor train_matrix = copy_rows(0, train_rows);
+  Tensor calibration_matrix =
+      calibration_rows > 0 ? copy_rows(train_rows, calibration_rows)
+                           : train_matrix;
+
+  TrainingReport report;
+  std::vector<size_t> order(static_cast<size_t>(train_rows));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(order);
+    double epoch_loss = 0.0;
+    int64_t num_batches = 0;
+    for (int64_t start = 0; start < train_rows;
+         start += config_.batch_size) {
+      const int64_t end = std::min(train_rows, start + config_.batch_size);
+      Tensor batch({end - start, d});
+      for (int64_t r = start; r < end; ++r) {
+        const size_t src = order[static_cast<size_t>(r)];
+        std::copy(train_matrix.data() + src * static_cast<size_t>(d),
+                  train_matrix.data() + (src + 1) * static_cast<size_t>(d),
+                  batch.data() + (r - start) * d);
+      }
+      epoch_loss += Step(batch);
+      ++num_batches;
+    }
+    report.epoch_losses.push_back(epoch_loss /
+                                  std::max<int64_t>(1, num_batches));
+    ++report.epochs_run;
+  }
+
+  // §3.1.4: collect clean reconstruction errors and set the threshold.
+  report.clean_errors = ComputeErrors(calibration_matrix);
+  report.error_statistics = ErrorStatistics::FromErrors(
+      report.clean_errors, config_.threshold_percentile);
+  return report;
+}
+
+std::vector<double> Trainer::ComputeErrors(const Tensor& matrix) const {
+  const int64_t rows = matrix.dim(0);
+  const int64_t d = matrix.dim(1);
+  std::vector<double> errors(static_cast<size_t>(rows));
+  const int64_t chunk = config_.inference_chunk_rows;
+  for (int64_t start = 0; start < rows; start += chunk) {
+    const int64_t end = std::min(rows, start + chunk);
+    Tensor slice({end - start, d});
+    std::copy(matrix.data() + start * d, matrix.data() + end * d,
+              slice.data());
+    Tensor reconstructed = model_->ReconstructValidation(slice);
+    Tensor per_sample = PerSampleErrors(reconstructed, slice);
+    for (int64_t r = 0; r < end - start; ++r) {
+      errors[static_cast<size_t>(start + r)] = per_sample[r];
+    }
+  }
+  return errors;
+}
+
+}  // namespace dquag

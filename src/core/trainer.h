@@ -1,0 +1,49 @@
+// Phase 1: training DQuaG on clean data (paper §3.1.3 / §3.1.4).
+
+#ifndef DQUAG_CORE_TRAINER_H_
+#define DQUAG_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "core/error_stats.h"
+#include "core/model.h"
+#include "nn/adam.h"
+
+namespace dquag {
+
+struct TrainingReport {
+  std::vector<double> epoch_losses;        // total loss per epoch
+  std::vector<double> clean_errors;        // final per-instance errors
+  ErrorStatistics error_statistics;        // incl. e_threshold
+  int64_t epochs_run = 0;
+};
+
+/// Minimizes L = alpha * L_validation + beta * L_repair with Adam over the
+/// clean preprocessed matrix [N, d]. The validation loss uses per-sample
+/// weights recomputed each step from detached reconstruction errors
+/// (smaller error -> larger weight); inputs are denoise-masked with
+/// probability `input_mask_prob` while targets stay clean.
+class Trainer {
+ public:
+  Trainer(DquagModel* model, const DquagConfig& config);
+
+  /// Trains on `clean_matrix` and collects the final reconstruction-error
+  /// statistics on the unmasked clean data.
+  TrainingReport Fit(const Tensor& clean_matrix);
+
+  /// Per-instance validation-head errors on a matrix (no masking).
+  std::vector<double> ComputeErrors(const Tensor& matrix) const;
+
+ private:
+  /// One optimization step over a batch; returns the total loss value.
+  double Step(const Tensor& batch);
+
+  DquagModel* model_;
+  DquagConfig config_;
+  Adam optimizer_;
+  Rng rng_;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_CORE_TRAINER_H_

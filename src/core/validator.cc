@@ -1,0 +1,118 @@
+#include "core/validator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/losses.h"
+
+namespace dquag {
+
+Validator::Validator(const DquagModel* model,
+                     const TablePreprocessor* preprocessor, double threshold,
+                     const DquagConfig& config)
+    : model_(model),
+      preprocessor_(preprocessor),
+      threshold_(threshold),
+      config_(config) {
+  DQUAG_CHECK(model_ != nullptr);
+}
+
+double Validator::batch_cutoff() const {
+  return (1.0 - config_.threshold_percentile) *
+         config_.batch_flag_multiplier;
+}
+
+BatchVerdict Validator::Validate(const Table& batch) const {
+  DQUAG_CHECK(preprocessor_ != nullptr);
+  return ValidateMatrix(preprocessor_->Transform(batch));
+}
+
+BatchVerdict Validator::ValidateMatrix(const Tensor& matrix) const {
+  DQUAG_CHECK_EQ(matrix.ndim(), 2);
+  DQUAG_CHECK_EQ(matrix.dim(1), model_->num_features());
+  const int64_t rows = matrix.dim(0);
+  const int64_t d = matrix.dim(1);
+
+  BatchVerdict verdict;
+  verdict.threshold = threshold_;
+  verdict.instances.resize(static_cast<size_t>(rows));
+
+  const int64_t chunk = config_.inference_chunk_rows;
+  for (int64_t start = 0; start < rows; start += chunk) {
+    const int64_t end = std::min(rows, start + chunk);
+    Tensor slice({end - start, d});
+    std::copy(matrix.data() + start * d, matrix.data() + end * d,
+              slice.data());
+    Tensor reconstructed = model_->ReconstructValidation(slice);
+    Tensor feature_errors = PerFeatureErrors(reconstructed, slice);
+
+    for (int64_t r = 0; r < end - start; ++r) {
+      InstanceVerdict& inst =
+          verdict.instances[static_cast<size_t>(start + r)];
+      // Instance error = mean of per-feature errors (§3.1.4).
+      double mean = 0.0;
+      for (int64_t c = 0; c < d; ++c) mean += feature_errors(r, c);
+      mean /= static_cast<double>(d);
+      inst.error = mean;
+      inst.flagged = mean > threshold_;
+      if (!inst.flagged) continue;
+      verdict.flagged_rows.push_back(static_cast<size_t>(start + r));
+      // Feature-level outliers: e_ij > mu_i + k * sigma_i (§3.2.1). The
+      // maximum z-score attainable among d values is (d-1)/sqrt(d), so k is
+      // capped below that bound — otherwise the rule could never fire on
+      // low-dimensional tables (see DESIGN.md on the paper's k = 5).
+      double variance = 0.0;
+      for (int64_t c = 0; c < d; ++c) {
+        const double delta = feature_errors(r, c) - mean;
+        variance += delta * delta;
+      }
+      variance /= static_cast<double>(d);
+      const double max_z = static_cast<double>(d - 1) /
+                           std::sqrt(static_cast<double>(d));
+      const double k = std::min(config_.feature_sigma_k, 0.8 * max_z);
+      const double cutoff = mean + k * std::sqrt(variance);
+      int64_t worst_feature = 0;
+      for (int64_t c = 0; c < d; ++c) {
+        if (feature_errors(r, c) > feature_errors(r, worst_feature)) {
+          worst_feature = c;
+        }
+        if (feature_errors(r, c) > cutoff) {
+          inst.suspect_features.push_back(c);
+        }
+      }
+      // A flagged instance always blames at least its worst feature so the
+      // repair phase has something to fix.
+      if (inst.suspect_features.empty()) {
+        inst.suspect_features.push_back(worst_feature);
+      }
+    }
+  }
+
+  verdict.flagged_fraction =
+      rows == 0 ? 0.0
+                : static_cast<double>(verdict.flagged_rows.size()) /
+                      static_cast<double>(rows);
+  verdict.is_dirty = verdict.flagged_fraction > batch_cutoff();
+  return verdict;
+}
+
+std::vector<double> Validator::ComputeErrors(const Tensor& matrix) const {
+  const int64_t rows = matrix.dim(0);
+  const int64_t d = matrix.dim(1);
+  std::vector<double> errors(static_cast<size_t>(rows));
+  const int64_t chunk = config_.inference_chunk_rows;
+  for (int64_t start = 0; start < rows; start += chunk) {
+    const int64_t end = std::min(rows, start + chunk);
+    Tensor slice({end - start, d});
+    std::copy(matrix.data() + start * d, matrix.data() + end * d,
+              slice.data());
+    Tensor reconstructed = model_->ReconstructValidation(slice);
+    Tensor per_sample = PerSampleErrors(reconstructed, slice);
+    for (int64_t r = 0; r < end - start; ++r) {
+      errors[static_cast<size_t>(start + r)] = per_sample[r];
+    }
+  }
+  return errors;
+}
+
+}  // namespace dquag

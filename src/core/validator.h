@@ -1,0 +1,71 @@
+// Phase 2: data quality validation (paper §3.2.1).
+//
+// New data is preprocessed with the clean-data encoders, reconstructed by
+// the validation decoder, and compared against e_threshold:
+//   * instance flagged   <=> its reconstruction error > e_threshold
+//   * batch flagged      <=> flagged fraction > 5% * n  (n = 1.2)
+//   * feature flagged    <=> its error > mu_i + k * sigma_i within the
+//                            flagged instance
+// Validation is tape-free and chunked; chunks run through the thread-pool
+// parallel tensor kernels, which is what gives the linear scaling of Fig. 4.
+
+#ifndef DQUAG_CORE_VALIDATOR_H_
+#define DQUAG_CORE_VALIDATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/error_stats.h"
+#include "core/model.h"
+#include "data/preprocessor.h"
+
+namespace dquag {
+
+/// Verdict for one instance of a validated batch.
+struct InstanceVerdict {
+  double error = 0.0;
+  bool flagged = false;
+  /// Column indices whose per-feature error exceeded mu + k*sigma (only
+  /// populated for flagged instances).
+  std::vector<int64_t> suspect_features;
+};
+
+/// Verdict for a whole batch / dataset.
+struct BatchVerdict {
+  bool is_dirty = false;
+  double flagged_fraction = 0.0;
+  double threshold = 0.0;
+  std::vector<size_t> flagged_rows;
+  std::vector<InstanceVerdict> instances;
+};
+
+class Validator {
+ public:
+  /// `model` and `preprocessor` must outlive the validator. `threshold` is
+  /// the e_threshold collected in Phase 1.
+  Validator(const DquagModel* model, const TablePreprocessor* preprocessor,
+            double threshold, const DquagConfig& config);
+
+  /// Validates a table (preprocess + reconstruct + threshold).
+  BatchVerdict Validate(const Table& batch) const;
+
+  /// Validates an already-preprocessed matrix [B, d].
+  BatchVerdict ValidateMatrix(const Tensor& matrix) const;
+
+  /// Per-instance reconstruction errors only (used by benchmarks).
+  std::vector<double> ComputeErrors(const Tensor& matrix) const;
+
+  double threshold() const { return threshold_; }
+  /// The batch dirty-fraction cutoff: (1 - percentile) * n.
+  double batch_cutoff() const;
+
+ private:
+  const DquagModel* model_;
+  const TablePreprocessor* preprocessor_;
+  double threshold_;
+  DquagConfig config_;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_CORE_VALIDATOR_H_

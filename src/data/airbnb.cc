@@ -1,0 +1,140 @@
+#include <algorithm>
+#include <cmath>
+
+#include "data/error_injector.h"
+#include "data/generators.h"
+
+namespace dquag {
+namespace datasets {
+
+namespace {
+
+struct Borough {
+  const char* name;
+  double lat;
+  double lon;
+  double price_base;
+  const char* neighbourhoods[4];
+};
+
+constexpr Borough kBoroughs[] = {
+    {"Manhattan", 40.776, -73.971, 180.0,
+     {"Harlem", "Midtown", "East Village", "Upper West Side"}},
+    {"Brooklyn", 40.650, -73.950, 120.0,
+     {"Williamsburg", "Bushwick", "Bedford-Stuyvesant", "Park Slope"}},
+    {"Queens", 40.742, -73.769, 95.0,
+     {"Astoria", "Flushing", "Long Island City", "Ridgewood"}},
+    {"Bronx", 40.837, -73.886, 80.0,
+     {"Fordham", "Mott Haven", "Concourse", "Riverdale"}},
+    {"Staten Island", 40.579, -74.151, 70.0,
+     {"St. George", "Tompkinsville", "Stapleton", "New Dorp"}},
+};
+
+const char* const kRoomTypes[] = {"Entire home/apt", "Private room",
+                                  "Shared room"};
+constexpr double kRoomMultiplier[] = {1.35, 0.75, 0.45};
+
+}  // namespace
+
+Schema AirbnbSchema() {
+  return Schema({
+      {"neighbourhood_group", ColumnType::kCategorical, "NYC borough"},
+      {"neighbourhood", ColumnType::kCategorical,
+       "neighbourhood within the borough"},
+      {"latitude", ColumnType::kNumeric, "listing latitude"},
+      {"longitude", ColumnType::kNumeric, "listing longitude"},
+      {"room_type", ColumnType::kCategorical,
+       "entire home, private or shared room"},
+      {"price", ColumnType::kNumeric, "nightly price in USD"},
+      {"minimum_nights", ColumnType::kNumeric, "minimum stay in nights"},
+      {"number_of_reviews", ColumnType::kNumeric, "total review count"},
+      {"reviews_per_month", ColumnType::kNumeric, "monthly review rate"},
+      {"availability_365", ColumnType::kNumeric,
+       "days available per year (0-365)"},
+      {"host_listings_count", ColumnType::kNumeric,
+       "listings managed by the host"},
+  });
+}
+
+Table GenerateAirbnbClean(int64_t rows, Rng& rng) {
+  Table table(AirbnbSchema());
+  for (int64_t r = 0; r < rows; ++r) {
+    const size_t b =
+        rng.Categorical({0.40, 0.35, 0.15, 0.06, 0.04});  // listing density
+    const Borough& borough = kBoroughs[b];
+    const int hood = static_cast<int>(rng.UniformInt(0, 3));
+    const double lat = borough.lat + rng.Normal(0.0, 0.02);
+    const double lon = borough.lon + rng.Normal(0.0, 0.02);
+    const size_t room = rng.Categorical({0.52, 0.44, 0.04});
+    const double price = std::max(
+        20.0, std::floor(borough.price_base * kRoomMultiplier[room] *
+                         std::exp(rng.Normal(0.0, 0.35))));
+    const double min_nights =
+        rng.Bernoulli(0.7) ? rng.UniformInt(1, 5) : rng.UniformInt(6, 30);
+    const double reviews = std::floor(std::exp(rng.Normal(2.2, 1.3)));
+    // Monthly rate consistent with lifetime total over ~2-60 months.
+    const double months_active = rng.Uniform(2.0, 60.0);
+    const double reviews_per_month =
+        std::round(reviews / months_active * 100.0) / 100.0;
+    const double availability = rng.UniformInt(0, 365);
+    const double host_listings =
+        rng.Bernoulli(0.85) ? rng.UniformInt(1, 3) : rng.UniformInt(4, 30);
+    table.AppendRow(
+        {lat, lon, price, min_nights, reviews, reviews_per_month,
+         availability, host_listings},
+        {borough.name, borough.neighbourhoods[hood], kRoomTypes[room]});
+  }
+  return table;
+}
+
+Table GenerateAirbnbDirty(int64_t rows, Rng& rng,
+                          std::vector<bool>* corrupted) {
+  return CorruptAirbnb(GenerateAirbnbClean(rows, rng), rng, corrupted);
+}
+
+Table CorruptAirbnb(const Table& clean, Rng& rng,
+                    std::vector<bool>* corrupted) {
+  Table table = clean;
+  const int64_t rows = table.num_rows();
+  std::vector<bool> flags(static_cast<size_t>(rows), false);
+  // The paper measures a 10.52% error rate on the real dirty Airbnb data.
+  const double dirty_rate = 0.105;
+  for (int64_t r = 0; r < rows; ++r) {
+    if (!rng.Bernoulli(dirty_rate)) continue;
+    const size_t ri = static_cast<size_t>(r);
+    flags[ri] = true;
+    switch (rng.UniformInt(0, 5)) {
+      case 0:  // impossible price (scraper glitch)
+        table.NumericByName("price")[ri] =
+            rng.Bernoulli(0.5) ? 0.0 : 10000.0 + rng.Uniform(0.0, 5000.0);
+        break;
+      case 1:  // absurd minimum stay
+        table.NumericByName("minimum_nights")[ri] =
+            rng.Bernoulli(0.5) ? 0.0 : 1000.0 + rng.Uniform(0.0, 500.0);
+        break;
+      case 2:  // typo in the room type string
+        table.CategoricalByName("room_type")[ri] =
+            MakeQwertyTypo(table.CategoricalByName("room_type")[ri], rng);
+        break;
+      case 3:  // missing review rate
+        table.NumericByName("reviews_per_month")[ri] = MissingValue();
+        break;
+      case 4:  // coordinates far outside NYC
+        table.NumericByName("latitude")[ri] = rng.Uniform(25.0, 35.0);
+        table.NumericByName("longitude")[ri] = rng.Uniform(-120.0, -100.0);
+        break;
+      default: {  // borough/neighbourhood mismatch (conflict)
+        const size_t wrong_borough = static_cast<size_t>(rng.UniformInt(0, 4));
+        // Keep the neighbourhood, change the borough label.
+        table.CategoricalByName("neighbourhood_group")[ri] =
+            kBoroughs[wrong_borough].name;
+        break;
+      }
+    }
+  }
+  if (corrupted) *corrupted = std::move(flags);
+  return table;
+}
+
+}  // namespace datasets
+}  // namespace dquag

@@ -1,0 +1,29 @@
+#include "data/batch_sampler.h"
+
+#include <algorithm>
+
+namespace dquag {
+
+Table SampleBatch(const Table& source, size_t batch_rows, Rng& rng) {
+  DQUAG_CHECK_GT(source.num_rows(), 0);
+  batch_rows = std::min<size_t>(batch_rows,
+                                static_cast<size_t>(source.num_rows()));
+  const std::vector<size_t> rows = rng.SampleWithoutReplacement(
+      static_cast<size_t>(source.num_rows()), batch_rows);
+  return source.SelectRows(rows);
+}
+
+std::vector<Table> SampleBatches(const Table& source, int num_batches,
+                                 double fraction, Rng& rng) {
+  const size_t batch_rows = std::max<size_t>(
+      1, static_cast<size_t>(fraction *
+                             static_cast<double>(source.num_rows())));
+  std::vector<Table> batches;
+  batches.reserve(static_cast<size_t>(num_batches));
+  for (int b = 0; b < num_batches; ++b) {
+    batches.push_back(SampleBatch(source, batch_rows, rng));
+  }
+  return batches;
+}
+
+}  // namespace dquag

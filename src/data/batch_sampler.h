@@ -1,0 +1,24 @@
+// Batch generation for validation experiments (paper §4.2: "randomly
+// sampling 10% to generate 50 batches").
+
+#ifndef DQUAG_DATA_BATCH_SAMPLER_H_
+#define DQUAG_DATA_BATCH_SAMPLER_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "util/rng.h"
+
+namespace dquag {
+
+/// Samples `batch_rows` rows uniformly without replacement.
+Table SampleBatch(const Table& source, size_t batch_rows, Rng& rng);
+
+/// Generates `num_batches` independent batches, each holding `fraction` of
+/// the source rows (at least one row).
+std::vector<Table> SampleBatches(const Table& source, int num_batches,
+                                 double fraction, Rng& rng);
+
+}  // namespace dquag
+
+#endif  // DQUAG_DATA_BATCH_SAMPLER_H_

@@ -1,0 +1,123 @@
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "data/error_injector.h"
+#include "data/generators.h"
+
+namespace dquag {
+namespace datasets {
+
+namespace {
+
+std::string StationName(int id) { return "station_" + std::to_string(id); }
+
+}  // namespace
+
+Schema BicycleSchema() {
+  return Schema({
+      {"trip_duration_sec", ColumnType::kNumeric,
+       "trip duration in seconds"},
+      {"distance_km", ColumnType::kNumeric,
+       "straight-line distance between stations"},
+      {"start_hour", ColumnType::kNumeric, "hour of day the trip started"},
+      {"day_type", ColumnType::kCategorical, "weekday or weekend"},
+      {"from_station", ColumnType::kCategorical, "origin station"},
+      {"to_station", ColumnType::kCategorical, "destination station"},
+      {"usertype", ColumnType::kCategorical,
+       "Subscriber (annual member) or Customer (day pass)"},
+      {"gender", ColumnType::kCategorical,
+       "rider gender (Unknown for most Customers)"},
+      {"birthyear", ColumnType::kNumeric, "rider birth year"},
+      {"temperature_c", ColumnType::kNumeric,
+       "air temperature during the trip"},
+  });
+}
+
+Table GenerateBicycleClean(int64_t rows, Rng& rng) {
+  Table table(BicycleSchema());
+  constexpr int kNumStations = 40;
+  for (int64_t r = 0; r < rows; ++r) {
+    const bool weekend = rng.Bernoulli(2.0 / 7.0);
+    // Commute peaks on weekdays.
+    double hour;
+    if (!weekend && rng.Bernoulli(0.55)) {
+      hour = rng.Bernoulli(0.5) ? rng.UniformInt(7, 9)
+                                : rng.UniformInt(16, 18);
+    } else {
+      hour = rng.UniformInt(6, 22);
+    }
+    const bool subscriber = rng.Bernoulli(weekend ? 0.55 : 0.82);
+    const int from = static_cast<int>(rng.UniformInt(1, kNumStations));
+    int to = static_cast<int>(rng.UniformInt(1, kNumStations));
+    const double distance =
+        std::max(0.3, std::exp(rng.Normal(0.5, 0.6)));  // km, ~1-5
+    // Duration follows distance at 8-18 km/h; customers dawdle more.
+    const double speed = subscriber ? rng.Uniform(11.0, 18.0)
+                                    : rng.Uniform(7.0, 13.0);
+    const double duration =
+        std::floor(distance / speed * 3600.0 + rng.Uniform(30.0, 240.0));
+    // Gender/birthyear are profile fields: subscribers have them.
+    std::string gender = "Unknown";
+    double birthyear = MissingValue();
+    if (subscriber) {
+      gender = rng.Bernoulli(0.72) ? "Male" : "Female";
+      birthyear = std::floor(rng.Uniform(1950.0, 2002.0));
+    } else if (rng.Bernoulli(0.15)) {
+      gender = rng.Bernoulli(0.6) ? "Male" : "Female";
+      birthyear = std::floor(rng.Uniform(1950.0, 2002.0));
+    }
+    const double temperature = rng.Normal(14.0, 9.0);
+    table.AppendRow({duration, distance, hour, birthyear, temperature},
+                    {weekend ? "weekend" : "weekday", StationName(from),
+                     StationName(to), subscriber ? "Subscriber" : "Customer",
+                     gender});
+  }
+  return table;
+}
+
+Table GenerateBicycleDirty(int64_t rows, Rng& rng,
+                           std::vector<bool>* corrupted) {
+  return CorruptBicycle(GenerateBicycleClean(rows, rng), rng, corrupted);
+}
+
+Table CorruptBicycle(const Table& clean, Rng& rng,
+                     std::vector<bool>* corrupted) {
+  Table table = clean;
+  const int64_t rows = table.num_rows();
+  std::vector<bool> flags(static_cast<size_t>(rows), false);
+  // The paper measures a 21.11% error rate on the real dirty Divvy data.
+  const double dirty_rate = 0.211;
+  for (int64_t r = 0; r < rows; ++r) {
+    if (!rng.Bernoulli(dirty_rate)) continue;
+    const size_t ri = static_cast<size_t>(r);
+    flags[ri] = true;
+    switch (rng.UniformInt(0, 4)) {
+      case 0:  // dock fault: negative or multi-day "trips"
+        table.NumericByName("trip_duration_sec")[ri] =
+            rng.Bernoulli(0.5) ? -rng.Uniform(10.0, 600.0)
+                               : 86400.0 * rng.Uniform(2.0, 10.0);
+        break;
+      case 1:  // duration/distance physically impossible (60+ km/h)
+        table.NumericByName("trip_duration_sec")[ri] = rng.Uniform(20.0, 60.0);
+        table.NumericByName("distance_km")[ri] = rng.Uniform(8.0, 15.0);
+        break;
+      case 2:  // typo in usertype
+        table.CategoricalByName("usertype")[ri] =
+            MakeQwertyTypo(table.CategoricalByName("usertype")[ri], rng);
+        break;
+      case 3:  // implausible birth year
+        table.NumericByName("birthyear")[ri] =
+            rng.Bernoulli(0.5) ? 1900.0 : 2023.0;
+        break;
+      default:  // missing station
+        table.CategoricalByName("to_station")[ri].clear();
+        break;
+    }
+  }
+  if (corrupted) *corrupted = std::move(flags);
+  return table;
+}
+
+}  // namespace datasets
+}  // namespace dquag

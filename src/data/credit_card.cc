@@ -1,0 +1,109 @@
+#include <algorithm>
+#include <cmath>
+
+#include "data/generators.h"
+
+namespace dquag {
+namespace datasets {
+
+namespace {
+
+const char* const kEducation[] = {
+    "Lower secondary", "Secondary / secondary special", "Incomplete higher",
+    "Higher education", "Academic degree"};
+const char* const kOccupations[] = {
+    "Laborers",        "Sales staff", "Drivers",     "Core staff",
+    "Medicine staff",  "Accountants", "High skill tech staff", "Managers"};
+const char* const kFamilyStatus[] = {"Single / not married", "Married",
+                                     "Civil marriage", "Separated", "Widow"};
+const char* const kHousing[] = {"House / apartment", "Rented apartment",
+                                "With parents", "Municipal apartment"};
+
+/// Income multiplier per occupation (index into kOccupations).
+constexpr double kOccupationMultiplier[] = {0.8, 1.0, 1.0, 1.2,
+                                            1.3, 1.5, 1.7, 2.1};
+
+/// Occupation mix shifts toward skilled roles with education level e (0-4).
+size_t SampleOccupation(int education, Rng& rng) {
+  switch (education) {
+    case 0:
+      return rng.Categorical({0.45, 0.25, 0.20, 0.06, 0.02, 0.01, 0.005,
+                              0.005});
+    case 1:
+      return rng.Categorical({0.30, 0.25, 0.15, 0.15, 0.06, 0.04, 0.03,
+                              0.02});
+    case 2:
+      return rng.Categorical({0.15, 0.20, 0.10, 0.22, 0.10, 0.09, 0.08,
+                              0.06});
+    case 3:
+      return rng.Categorical({0.05, 0.10, 0.05, 0.20, 0.12, 0.16, 0.17,
+                              0.15});
+    default:
+      return rng.Categorical({0.02, 0.04, 0.02, 0.12, 0.15, 0.17, 0.23,
+                              0.25});
+  }
+}
+
+}  // namespace
+
+Schema CreditCardSchema() {
+  return Schema({
+      {"CODE_GENDER", ColumnType::kCategorical, "applicant gender"},
+      {"FLAG_OWN_CAR", ColumnType::kCategorical, "owns a car (Y/N)"},
+      {"FLAG_OWN_REALTY", ColumnType::kCategorical, "owns real estate (Y/N)"},
+      {"CNT_CHILDREN", ColumnType::kNumeric, "number of children"},
+      {"AMT_INCOME_TOTAL", ColumnType::kNumeric, "annual income"},
+      {"NAME_EDUCATION_TYPE", ColumnType::kCategorical, "education level"},
+      {"NAME_FAMILY_STATUS", ColumnType::kCategorical, "marital status"},
+      {"NAME_HOUSING_TYPE", ColumnType::kCategorical, "housing situation"},
+      {"DAYS_BIRTH", ColumnType::kNumeric,
+       "age in days, negative (days before today)"},
+      {"DAYS_EMPLOYED", ColumnType::kNumeric,
+       "employment start in days, negative; cannot precede birth"},
+      {"OCCUPATION_TYPE", ColumnType::kCategorical, "occupation"},
+      {"CNT_FAM_MEMBERS", ColumnType::kNumeric, "family size"},
+  });
+}
+
+Table GenerateCreditCard(int64_t rows, Rng& rng) {
+  Table table(CreditCardSchema());
+  for (int64_t r = 0; r < rows; ++r) {
+    const bool female = rng.Bernoulli(0.6);
+    const bool own_car = rng.Bernoulli(0.4);
+    const bool own_realty = rng.Bernoulli(0.65);
+    const double children = rng.Categorical({0.6, 0.22, 0.13, 0.04, 0.01});
+    const int education =
+        static_cast<int>(rng.Categorical({0.06, 0.55, 0.12, 0.24, 0.03}));
+    const size_t family = rng.Categorical({0.18, 0.62, 0.08, 0.07, 0.05});
+    const size_t housing = rng.Categorical({0.82, 0.06, 0.07, 0.05});
+
+    // Age 21-65 years.
+    const double age_years = rng.Uniform(21.0, 65.0);
+    const double days_birth = -std::floor(age_years * 365.25);
+    // Employment cannot start before age 18 (the hidden error violates it).
+    const double max_work_years = age_years - 18.0;
+    const double work_years =
+        std::max(0.1, max_work_years * rng.Uniform(0.05, 0.95));
+    const double days_employed = -std::floor(work_years * 365.25);
+
+    const size_t occupation = SampleOccupation(education, rng);
+    // income ~ education base x occupation multiplier x lognormal noise.
+    const double base = 22000.0 * (1.0 + 0.45 * education);
+    const double income = std::floor(
+        base * kOccupationMultiplier[occupation] *
+        std::exp(rng.Normal(0.0, 0.18)));
+
+    const double family_members =
+        children + (family == 1 || family == 2 ? 2.0 : 1.0);
+
+    table.AppendRow(
+        {children, income, days_birth, days_employed, family_members},
+        {female ? "F" : "M", own_car ? "Y" : "N", own_realty ? "Y" : "N",
+         kEducation[education], kFamilyStatus[family], kHousing[housing],
+         kOccupations[occupation]});
+  }
+  return table;
+}
+
+}  // namespace datasets
+}  // namespace dquag

@@ -1,0 +1,222 @@
+#include "data/error_injector.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+
+namespace dquag {
+
+double InjectionResult::CorruptionRate() const {
+  if (row_corrupted.empty()) return 0.0;
+  size_t count = 0;
+  for (bool flag : row_corrupted) count += flag ? 1 : 0;
+  return static_cast<double>(count) /
+         static_cast<double>(row_corrupted.size());
+}
+
+namespace {
+
+/// Neighbouring keys on a qwerty keyboard (lowercase).
+const std::map<char, std::string>& QwertyNeighbours() {
+  static const std::map<char, std::string>& keys = *new std::map<char, std::string>{
+      {'q', "wa"},   {'w', "qes"},  {'e', "wrd"},  {'r', "etf"},
+      {'t', "ryg"},  {'y', "tuh"},  {'u', "yij"},  {'i', "uok"},
+      {'o', "ipl"},  {'p', "ol"},   {'a', "qsz"},  {'s', "awdx"},
+      {'d', "sefc"}, {'f', "drgv"}, {'g', "fthb"}, {'h', "gyjn"},
+      {'j', "hukm"}, {'k', "jil"},  {'l', "kop"},  {'z', "asx"},
+      {'x', "zsdc"}, {'c', "xdfv"}, {'v', "cfgb"}, {'b', "vghn"},
+      {'n', "bhjm"}, {'m', "njk"}};
+  return keys;
+}
+
+}  // namespace
+
+std::string MakeQwertyTypo(const std::string& word, Rng& rng) {
+  std::string out = word;
+  // Collect letter positions.
+  std::vector<size_t> letters;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (std::isalpha(static_cast<unsigned char>(out[i]))) letters.push_back(i);
+  }
+  if (letters.empty()) {
+    return out + "x";  // non-alphabetic tokens get a trailing junk char
+  }
+  const size_t pos =
+      letters[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(letters.size()) - 1))];
+  const char original = out[pos];
+  const char lower =
+      static_cast<char>(std::tolower(static_cast<unsigned char>(original)));
+  const auto& neighbours = QwertyNeighbours();
+  auto it = neighbours.find(lower);
+  char replacement = 'x';
+  if (it != neighbours.end() && !it->second.empty()) {
+    replacement = it->second[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(it->second.size()) - 1))];
+  }
+  if (std::isupper(static_cast<unsigned char>(original))) {
+    replacement =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(replacement)));
+  }
+  out[pos] = replacement;
+  if (out == word) out[pos] = lower == 'x' ? 'z' : 'x';  // force a change
+  return out;
+}
+
+std::vector<size_t> ErrorInjector::PickRows(int64_t num_rows,
+                                            double fraction) {
+  const size_t k = static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(num_rows)));
+  return rng_.SampleWithoutReplacement(static_cast<size_t>(num_rows),
+                                       std::min<size_t>(k, num_rows));
+}
+
+InjectionResult ErrorInjector::InjectMissing(
+    const Table& table, const std::vector<std::string>& columns,
+    double fraction) {
+  InjectionResult result{table,
+                         std::vector<bool>(table.num_rows(), false)};
+  for (const std::string& name : columns) {
+    const int64_t c = table.schema().IndexOf(name);
+    DQUAG_CHECK_GE(c, 0);
+    for (size_t r : PickRows(table.num_rows(), fraction)) {
+      if (table.schema().column(c).type == ColumnType::kNumeric) {
+        result.table.Numeric(c)[r] = MissingValue();
+      } else {
+        result.table.Categorical(c)[r].clear();
+      }
+      result.row_corrupted[r] = true;
+    }
+  }
+  return result;
+}
+
+InjectionResult ErrorInjector::InjectNumericAnomalies(
+    const Table& table, const std::vector<std::string>& columns,
+    double fraction, double scale) {
+  InjectionResult result{table,
+                         std::vector<bool>(table.num_rows(), false)};
+  for (const std::string& name : columns) {
+    const int64_t c = table.schema().IndexOf(name);
+    DQUAG_CHECK_GE(c, 0);
+    DQUAG_CHECK(table.schema().column(c).type == ColumnType::kNumeric);
+    const auto& original = table.Numeric(c);
+    double max_abs = 1.0;
+    for (double v : original) {
+      if (!IsMissing(v)) max_abs = std::max(max_abs, std::abs(v));
+    }
+    auto& target = result.table.Numeric(c);
+    for (size_t r : PickRows(table.num_rows(), fraction)) {
+      // Half the anomalies are scale spikes, half sign flips / negatives.
+      if (rng_.Bernoulli(0.5)) {
+        target[r] = max_abs * scale * rng_.Uniform(1.0, 2.0);
+      } else {
+        target[r] = -max_abs * rng_.Uniform(0.5, 1.5);
+      }
+      result.row_corrupted[r] = true;
+    }
+  }
+  return result;
+}
+
+InjectionResult ErrorInjector::InjectTypos(
+    const Table& table, const std::vector<std::string>& columns,
+    double fraction) {
+  InjectionResult result{table,
+                         std::vector<bool>(table.num_rows(), false)};
+  for (const std::string& name : columns) {
+    const int64_t c = table.schema().IndexOf(name);
+    DQUAG_CHECK_GE(c, 0);
+    DQUAG_CHECK(table.schema().column(c).type == ColumnType::kCategorical);
+    auto& target = result.table.Categorical(c);
+    for (size_t r : PickRows(table.num_rows(), fraction)) {
+      if (!target[r].empty()) {
+        target[r] = MakeQwertyTypo(target[r], rng_);
+        result.row_corrupted[r] = true;
+      }
+    }
+  }
+  return result;
+}
+
+InjectionResult ErrorInjector::InjectHotelGroupConflict(const Table& table,
+                                                        double fraction) {
+  InjectionResult result{table,
+                         std::vector<bool>(table.num_rows(), false)};
+  auto& customer = result.table.CategoricalByName("customer_type");
+  auto& adults = result.table.NumericByName("adults");
+  auto& babies = result.table.NumericByName("babies");
+  // Prefer corrupting rows that are already "Group" bookings so the
+  // customer_type marginal barely moves — the conflict lives in the JOINT
+  // combination (Group, adults = 0, babies > 0), which is what per-column
+  // validators cannot see. If there are not enough Group rows for the
+  // requested fraction, additional random rows are converted.
+  std::vector<size_t> group_rows;
+  std::vector<size_t> other_rows;
+  for (size_t r = 0; r < static_cast<size_t>(table.num_rows()); ++r) {
+    (customer[r] == "Group" ? group_rows : other_rows).push_back(r);
+  }
+  rng_.Shuffle(group_rows);
+  rng_.Shuffle(other_rows);
+  size_t target = static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(table.num_rows())));
+  std::vector<size_t> victims;
+  for (size_t r : group_rows) {
+    if (victims.size() >= target) break;
+    victims.push_back(r);
+  }
+  for (size_t r : other_rows) {
+    if (victims.size() >= target) break;
+    victims.push_back(r);
+  }
+  for (size_t r : victims) {
+    customer[r] = "Group";
+    adults[r] = 0.0;
+    babies[r] = static_cast<double>(rng_.UniformInt(1, 2));
+    result.row_corrupted[r] = true;
+  }
+  return result;
+}
+
+InjectionResult ErrorInjector::InjectCreditEmploymentConflict(
+    const Table& table, double fraction) {
+  InjectionResult result{table,
+                         std::vector<bool>(table.num_rows(), false)};
+  auto& birth = result.table.NumericByName("DAYS_BIRTH");
+  auto& employed = result.table.NumericByName("DAYS_EMPLOYED");
+  for (size_t r : PickRows(table.num_rows(), fraction)) {
+    // Employment "starts" before birth: DAYS_EMPLOYED more negative than
+    // DAYS_BIRTH. Both values are kept inside their columns' clean ranges
+    // (ages 22-38, employment spans seen for mid-career applicants) so
+    // per-column range constraints cannot flag them — only the joint
+    // temporal logic is violated.
+    birth[r] = -std::floor(rng_.Uniform(8000.0, 14000.0));
+    employed[r] = std::floor(birth[r] - rng_.Uniform(200.0, 1500.0));
+    result.row_corrupted[r] = true;
+  }
+  return result;
+}
+
+InjectionResult ErrorInjector::InjectCreditIncomeConflict(const Table& table,
+                                                          double fraction) {
+  InjectionResult result{table,
+                         std::vector<bool>(table.num_rows(), false)};
+  auto& income = result.table.NumericByName("AMT_INCOME_TOTAL");
+  auto& education = result.table.CategoricalByName("NAME_EDUCATION_TYPE");
+  auto& occupation = result.table.CategoricalByName("OCCUPATION_TYPE");
+  for (size_t r : PickRows(table.num_rows(), fraction)) {
+    // Implausible combination: top education, senior occupation, tiny
+    // income. Every individual value stays inside its column's clean range,
+    // so range constraints cannot see it (that is what "hidden" means).
+    education[r] = rng_.Bernoulli(0.5) ? "Academic degree"
+                                       : "Higher education";
+    occupation[r] = rng_.Bernoulli(0.5) ? "Managers"
+                                        : "High skill tech staff";
+    income[r] = rng_.Uniform(16000.0, 20000.0);
+    result.row_corrupted[r] = true;
+  }
+  return result;
+}
+
+}  // namespace dquag

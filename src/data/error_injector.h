@@ -1,0 +1,91 @@
+// Synthetic error injection (paper §4.1.2).
+//
+// Ordinary errors, each applied to a fraction (default 20%) of the values of
+// selected attributes:
+//   * Missing values   — cells blanked (collection/integration failures).
+//   * Numeric anomalies — out-of-range values from sensor/scale faults.
+//   * String typos      — random letters replaced by qwerty-neighbour keys.
+// Hidden errors are dataset-specific logical/temporal conflicts between
+// attributes:
+//   * Hotel Booking: customer_type == "Group" with zero adults and > 0
+//     babies.
+//   * Credit Card conflict 1: DAYS_EMPLOYED precedes DAYS_BIRTH (employment
+//     before birth).
+//   * Credit Card conflict 2: high education + advanced occupation but
+//     extremely low income.
+// Every injector returns the corrupted table plus per-row corruption flags
+// so experiments can compute instance-level metrics.
+
+#ifndef DQUAG_DATA_ERROR_INJECTOR_H_
+#define DQUAG_DATA_ERROR_INJECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "util/rng.h"
+
+namespace dquag {
+
+/// A corrupted table plus which rows were touched.
+struct InjectionResult {
+  Table table;
+  std::vector<bool> row_corrupted;
+
+  /// Fraction of corrupted rows.
+  double CorruptionRate() const;
+};
+
+/// Replaces a random inner letter of `word` with a qwerty-neighbour key.
+/// Words shorter than 2 characters gain a duplicated character instead.
+std::string MakeQwertyTypo(const std::string& word, Rng& rng);
+
+class ErrorInjector {
+ public:
+  explicit ErrorInjector(uint64_t seed) : rng_(seed) {}
+
+  /// Blanks `fraction` of the cells in each listed column (numeric -> NaN,
+  /// categorical -> "").
+  InjectionResult InjectMissing(const Table& table,
+                                const std::vector<std::string>& columns,
+                                double fraction = 0.2);
+
+  /// Replaces `fraction` of the cells in each listed numeric column with
+  /// out-of-range values: the column maximum scaled by `scale` (sensor
+  /// spikes), or the negated value for strictly-positive columns.
+  InjectionResult InjectNumericAnomalies(
+      const Table& table, const std::vector<std::string>& columns,
+      double fraction = 0.2, double scale = 10.0);
+
+  /// Applies qwerty typos to `fraction` of the cells in each listed
+  /// categorical column.
+  InjectionResult InjectTypos(const Table& table,
+                              const std::vector<std::string>& columns,
+                              double fraction = 0.2);
+
+  /// Hotel Booking hidden conflict: sets customer_type = "Group",
+  /// adults = 0, babies >= 1 on `fraction` of the rows.
+  InjectionResult InjectHotelGroupConflict(const Table& table,
+                                           double fraction = 0.2);
+
+  /// Credit Card hidden conflict 1: DAYS_EMPLOYED < DAYS_BIRTH.
+  InjectionResult InjectCreditEmploymentConflict(const Table& table,
+                                                 double fraction = 0.2);
+
+  /// Credit Card hidden conflict 2: forces high education + advanced
+  /// occupation rows to an implausibly low income.
+  InjectionResult InjectCreditIncomeConflict(const Table& table,
+                                             double fraction = 0.2);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  /// Rows to corrupt for a column-level error: fraction of all rows.
+  std::vector<size_t> PickRows(int64_t num_rows, double fraction);
+
+  Rng rng_;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_DATA_ERROR_INJECTOR_H_

@@ -1,0 +1,109 @@
+#include <algorithm>
+#include <cmath>
+
+#include "data/error_injector.h"
+#include "data/generators.h"
+
+namespace dquag {
+namespace datasets {
+
+namespace {
+
+const char* const kCategories[] = {
+    "TOOLS",     "GAME",      "FAMILY",        "BUSINESS",
+    "MEDICAL",   "LIFESTYLE", "PRODUCTIVITY",  "FINANCE",
+    "SPORTS",    "EDUCATION", "COMMUNICATION", "PHOTOGRAPHY"};
+const char* const kContentRatings[] = {"Everyone", "Teen", "Mature 17+",
+                                       "Everyone 10+"};
+
+}  // namespace
+
+Schema GooglePlaySchema() {
+  return Schema({
+      {"category", ColumnType::kCategorical, "store category"},
+      {"rating", ColumnType::kNumeric, "average user rating (1-5)"},
+      {"reviews", ColumnType::kNumeric, "number of user reviews"},
+      {"size_mb", ColumnType::kNumeric, "APK size in megabytes"},
+      {"installs", ColumnType::kNumeric, "install count"},
+      {"type", ColumnType::kCategorical, "Free or Paid"},
+      {"price_usd", ColumnType::kNumeric,
+       "price in USD (0 for free apps)"},
+      {"content_rating", ColumnType::kCategorical, "audience rating"},
+      {"days_since_update", ColumnType::kNumeric,
+       "days since the last update"},
+  });
+}
+
+Table GenerateGooglePlayClean(int64_t rows, Rng& rng) {
+  Table table(GooglePlaySchema());
+  for (int64_t r = 0; r < rows; ++r) {
+    const int category = static_cast<int>(rng.UniformInt(0, 11));
+    // Ratings concentrate around 4.2.
+    const double rating = std::clamp(rng.Normal(4.2, 0.4), 1.0, 5.0);
+    // Install counts are log-uniform over 1e2..1e8.
+    const double installs =
+        std::floor(std::pow(10.0, rng.Uniform(2.0, 8.0)));
+    // Roughly 2-4% of installers leave a review.
+    const double reviews = std::floor(
+        installs * rng.Uniform(0.02, 0.04) * std::exp(rng.Normal(0.0, 0.3)));
+    const double size_mb =
+        std::round(std::exp(rng.Normal(2.8, 0.9)) * 10.0) / 10.0;
+    const bool paid = rng.Bernoulli(0.08);
+    // Price is 0 exactly when the app is Free (the dependency the dirty
+    // version violates).
+    const double price =
+        paid ? std::round(rng.Uniform(0.99, 9.99) * 100.0) / 100.0 : 0.0;
+    const size_t content = rng.Categorical({0.70, 0.15, 0.08, 0.07});
+    const double days_update = std::floor(std::exp(rng.Normal(4.5, 1.2)));
+    table.AppendRow(
+        {std::round(rating * 10.0) / 10.0, reviews, size_mb, installs, price,
+         days_update},
+        {kCategories[category], paid ? "Paid" : "Free",
+         kContentRatings[content]});
+  }
+  return table;
+}
+
+Table GenerateGooglePlayDirty(int64_t rows, Rng& rng,
+                              std::vector<bool>* corrupted) {
+  return CorruptGooglePlay(GenerateGooglePlayClean(rows, rng), rng,
+                           corrupted);
+}
+
+Table CorruptGooglePlay(const Table& clean, Rng& rng,
+                        std::vector<bool>* corrupted) {
+  Table table = clean;
+  const int64_t rows = table.num_rows();
+  std::vector<bool> flags(static_cast<size_t>(rows), false);
+  const double dirty_rate = 0.15;
+  for (int64_t r = 0; r < rows; ++r) {
+    if (!rng.Bernoulli(dirty_rate)) continue;
+    const size_t ri = static_cast<size_t>(r);
+    flags[ri] = true;
+    switch (rng.UniformInt(0, 4)) {
+      case 0:  // the famous "rating 19" row-shift bug of the real dataset
+        table.NumericByName("rating")[ri] = 19.0;
+        break;
+      case 1:  // negative installs from a parse error
+        table.NumericByName("installs")[ri] = -rng.Uniform(1.0, 1e4);
+        break;
+      case 2:  // Free app with a price (conflict between type and price)
+        table.CategoricalByName("type")[ri] = "Free";
+        table.NumericByName("price_usd")[ri] =
+            std::round(rng.Uniform(0.99, 9.99) * 100.0) / 100.0;
+        break;
+      case 3:  // typo in the category string
+        table.CategoricalByName("category")[ri] =
+            MakeQwertyTypo(table.CategoricalByName("category")[ri], rng);
+        break;
+      default:  // missing size
+        table.NumericByName("size_mb")[ri] = MissingValue();
+        break;
+    }
+  }
+  if (corrupted) *corrupted = std::move(flags);
+  return table;
+}
+
+}  // namespace datasets
+}  // namespace dquag

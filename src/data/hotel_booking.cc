@@ -1,0 +1,92 @@
+#include <cmath>
+
+#include "data/generators.h"
+
+namespace dquag {
+namespace datasets {
+
+namespace {
+
+const char* const kHotels[] = {"City Hotel", "Resort Hotel"};
+const char* const kCustomerTypes[] = {"Transient", "Transient-Party",
+                                      "Contract", "Group"};
+const char* const kMonths[] = {"January",   "February", "March",    "April",
+                               "May",       "June",     "July",     "August",
+                               "September", "October",  "November", "December"};
+const char* const kMeals[] = {"BB", "HB", "FB", "SC"};
+
+/// Seasonal average-daily-rate multiplier, peaking in summer.
+double SeasonFactor(int month) {
+  static const double kFactor[12] = {0.8, 0.8, 0.9, 1.0, 1.1, 1.3,
+                                     1.5, 1.5, 1.2, 1.0, 0.85, 0.9};
+  return kFactor[month];
+}
+
+}  // namespace
+
+Schema HotelBookingSchema() {
+  return Schema({
+      {"hotel", ColumnType::kCategorical, "City Hotel or Resort Hotel"},
+      {"customer_type", ColumnType::kCategorical,
+       "booking type: Transient, Transient-Party, Contract, Group"},
+      {"adults", ColumnType::kNumeric, "number of adults in the booking"},
+      {"children", ColumnType::kNumeric, "number of children"},
+      {"babies", ColumnType::kNumeric, "number of babies"},
+      {"lead_time", ColumnType::kNumeric,
+       "days between booking and arrival"},
+      {"stays_in_weekend_nights", ColumnType::kNumeric,
+       "weekend nights booked"},
+      {"stays_in_week_nights", ColumnType::kNumeric, "week nights booked"},
+      {"adr", ColumnType::kNumeric, "average daily rate in EUR"},
+      {"arrival_month", ColumnType::kCategorical, "month of arrival"},
+      {"is_repeated_guest", ColumnType::kCategorical,
+       "1 if the guest booked before"},
+      {"previous_cancellations", ColumnType::kNumeric,
+       "bookings previously cancelled by this guest"},
+      {"meal", ColumnType::kCategorical, "meal package code"},
+  });
+}
+
+Table GenerateHotelBooking(int64_t rows, Rng& rng) {
+  Table table(HotelBookingSchema());
+  for (int64_t r = 0; r < rows; ++r) {
+    const int hotel = static_cast<int>(rng.UniformInt(0, 1));
+    const size_t customer =
+        rng.Categorical({0.55, 0.22, 0.13, 0.10});  // mostly transient
+    const int month = static_cast<int>(rng.UniformInt(0, 11));
+
+    // Group bookings involve several adults; others 1-3.
+    double adults = customer == 3 ? rng.UniformInt(2, 6)
+                                  : rng.UniformInt(1, 3);
+    double children = rng.Bernoulli(0.18) ? rng.UniformInt(1, 3) : 0.0;
+    // Babies only accompany adults (a logic the hidden error violates).
+    double babies =
+        adults >= 1 && rng.Bernoulli(0.06) ? rng.UniformInt(1, 2) : 0.0;
+
+    const double lead_time = std::floor(rng.Uniform(0.0, 1.0) *
+                                        rng.Uniform(0.0, 1.0) * 400.0);
+    const double weekend = rng.UniformInt(0, 4);
+    const double week = rng.UniformInt(0, 8);
+
+    // Rate depends on hotel, season, and party size.
+    const double base = hotel == 1 ? 95.0 : 80.0;
+    const double adr = std::max(
+        25.0, base * SeasonFactor(month) + 18.0 * adults + 9.0 * children +
+                  rng.Normal(0.0, 9.0));
+
+    const bool repeated = rng.Bernoulli(0.08);
+    const double cancellations =
+        repeated && rng.Bernoulli(0.25) ? rng.UniformInt(1, 3) : 0.0;
+    const size_t meal = rng.Categorical({0.6, 0.2, 0.05, 0.15});
+
+    table.AppendRow(
+        {adults, children, babies, lead_time, weekend, week, adr,
+         cancellations},
+        {kHotels[hotel], kCustomerTypes[customer], kMonths[month],
+         repeated ? "1" : "0", kMeals[meal]});
+  }
+  return table;
+}
+
+}  // namespace datasets
+}  // namespace dquag

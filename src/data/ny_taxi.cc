@@ -1,0 +1,133 @@
+#include <algorithm>
+#include <cmath>
+
+#include "data/generators.h"
+
+namespace dquag {
+namespace datasets {
+
+namespace {
+
+const char* const kDays[] = {"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+const char* const kPayment[] = {"card", "cash"};
+const char* const kRateCodes[] = {"standard", "jfk", "newark"};
+const char* const kVendors[] = {"CMT", "VTS"};
+
+/// Column order is chosen so the 5- and 10-column prefixes remain coherent
+/// sub-schemas for the Figure 4 dimensionality sweep.
+std::vector<ColumnSpec> FullTaxiColumns() {
+  return {
+      {"trip_distance", ColumnType::kNumeric, "trip distance in miles"},
+      {"trip_duration_min", ColumnType::kNumeric, "trip duration in minutes"},
+      {"fare_amount", ColumnType::kNumeric, "metered fare in USD"},
+      {"passenger_count", ColumnType::kNumeric, "number of passengers"},
+      {"pickup_hour", ColumnType::kNumeric, "hour of day of pickup (0-23)"},
+      // --- 5 dims
+      {"tip_amount", ColumnType::kNumeric, "tip in USD (0 for cash)"},
+      {"tolls_amount", ColumnType::kNumeric, "tolls in USD"},
+      {"total_amount", ColumnType::kNumeric,
+       "fare + tip + tolls + tax + extra"},
+      {"payment_type", ColumnType::kCategorical, "card or cash"},
+      {"pickup_day", ColumnType::kCategorical, "day of week of pickup"},
+      // --- 10 dims
+      {"pickup_latitude", ColumnType::kNumeric, "pickup latitude"},
+      {"pickup_longitude", ColumnType::kNumeric, "pickup longitude"},
+      {"dropoff_latitude", ColumnType::kNumeric, "dropoff latitude"},
+      {"dropoff_longitude", ColumnType::kNumeric, "dropoff longitude"},
+      {"rate_code", ColumnType::kCategorical,
+       "standard / jfk / newark rate code"},
+      {"mta_tax", ColumnType::kNumeric, "MTA tax in USD"},
+      {"extra", ColumnType::kNumeric, "rush-hour / overnight surcharge"},
+      {"vendor_id", ColumnType::kCategorical, "technology vendor"},
+  };
+}
+
+}  // namespace
+
+Schema NyTaxiSchema(int64_t dims) {
+  std::vector<ColumnSpec> all = FullTaxiColumns();
+  DQUAG_CHECK_GE(dims, 2);
+  DQUAG_CHECK_LE(dims, static_cast<int64_t>(all.size()));
+  all.resize(static_cast<size_t>(dims));
+  return Schema(std::move(all));
+}
+
+Table GenerateNyTaxi(int64_t rows, Rng& rng, int64_t dims) {
+  const Schema schema = NyTaxiSchema(dims);
+  Table table(schema);
+  for (int64_t r = 0; r < rows; ++r) {
+    const size_t rate = rng.Categorical({0.93, 0.05, 0.02});
+    // Distances: mostly short urban hops; JFK trips are long.
+    double distance = rate == 1 ? rng.Uniform(14.0, 22.0)
+                                : std::exp(rng.Normal(0.6, 0.8));
+    distance = std::min(distance, 40.0);
+    const double hour = rng.UniformInt(0, 23);
+    // Rush hour is slow: 8-12 mph; off-peak 14-22 mph.
+    const bool rush = (hour >= 7 && hour <= 10) || (hour >= 16 && hour <= 19);
+    const double speed = rush ? rng.Uniform(8.0, 13.0)
+                              : rng.Uniform(13.0, 23.0);
+    const double duration = std::max(1.0, distance / speed * 60.0 +
+                                              rng.Normal(0.0, 2.0));
+    // JFK is a flat $52 fare; otherwise metered.
+    double fare = rate == 1
+                      ? 52.0
+                      : std::max(2.5, 2.5 + 2.5 * distance +
+                                          0.35 * duration +
+                                          rng.Normal(0.0, 1.0));
+    const double passengers = rng.Categorical({0.0, 0.70, 0.14, 0.07, 0.04,
+                                               0.03, 0.02});
+    const bool card = rng.Bernoulli(0.65);
+    // Tips are only recorded for card payments (a classic taxi-data
+    // dependency).
+    const double tip =
+        card ? std::round(fare * rng.Uniform(0.12, 0.25) * 100.0) / 100.0
+             : 0.0;
+    const double tolls = rate != 0 || rng.Bernoulli(0.06)
+                             ? (rate == 2 ? 12.5 : 5.54)
+                             : 0.0;
+    const double mta_tax = 0.5;
+    const double extra = rush ? 1.0 : (hour >= 20 || hour <= 5 ? 0.5 : 0.0);
+    const double total = fare + tip + tolls + mta_tax + extra;
+    const int day = static_cast<int>(rng.UniformInt(0, 6));
+
+    // Manhattan-ish coordinates; dropoff displaced roughly by distance.
+    const double pickup_lat = 40.75 + rng.Normal(0.0, 0.03);
+    const double pickup_lon = -73.98 + rng.Normal(0.0, 0.03);
+    const double bearing = rng.Uniform(0.0, 6.2831853);
+    const double deg = distance / 69.0;  // miles to degrees (approx)
+    const double dropoff_lat = pickup_lat + deg * std::cos(bearing);
+    const double dropoff_lon = pickup_lon + deg * std::sin(bearing);
+
+    std::vector<double> numeric;
+    std::vector<std::string> categorical;
+    for (int64_t c = 0; c < schema.num_columns(); ++c) {
+      const std::string& name = schema.column(c).name;
+      if (name == "trip_distance") numeric.push_back(distance);
+      else if (name == "trip_duration_min") numeric.push_back(duration);
+      else if (name == "fare_amount") numeric.push_back(fare);
+      else if (name == "passenger_count") numeric.push_back(passengers);
+      else if (name == "pickup_hour") numeric.push_back(hour);
+      else if (name == "tip_amount") numeric.push_back(tip);
+      else if (name == "tolls_amount") numeric.push_back(tolls);
+      else if (name == "total_amount") numeric.push_back(total);
+      else if (name == "payment_type")
+        categorical.push_back(kPayment[card ? 0 : 1]);
+      else if (name == "pickup_day") categorical.push_back(kDays[day]);
+      else if (name == "pickup_latitude") numeric.push_back(pickup_lat);
+      else if (name == "pickup_longitude") numeric.push_back(pickup_lon);
+      else if (name == "dropoff_latitude") numeric.push_back(dropoff_lat);
+      else if (name == "dropoff_longitude") numeric.push_back(dropoff_lon);
+      else if (name == "rate_code") categorical.push_back(kRateCodes[rate]);
+      else if (name == "mta_tax") numeric.push_back(mta_tax);
+      else if (name == "extra") numeric.push_back(extra);
+      else if (name == "vendor_id")
+        categorical.push_back(kVendors[rng.UniformInt(0, 1)]);
+      else DQUAG_CHECK(false);
+    }
+    table.AppendRow(numeric, categorical);
+  }
+  return table;
+}
+
+}  // namespace datasets
+}  // namespace dquag

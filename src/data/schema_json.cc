@@ -1,0 +1,87 @@
+#include "data/schema_json.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/string_utils.h"
+
+namespace dquag {
+
+StatusOr<Schema> SchemaFromJson(const std::string& json_text) {
+  auto parsed = JsonValue::Parse(json_text);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = parsed.value();
+  if (!root.is_object() || !root.Contains("columns")) {
+    return Status::InvalidArgument(
+        "expected top-level object with a 'columns' array");
+  }
+  const JsonValue& columns = root.at("columns");
+  if (!columns.is_array() || columns.size() == 0) {
+    return Status::InvalidArgument("'columns' must be a non-empty array");
+  }
+  std::vector<ColumnSpec> specs;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const JsonValue& entry = columns.at(i);
+    if (!entry.is_object() || !entry.Contains("name") ||
+        !entry.Contains("type")) {
+      return Status::InvalidArgument(
+          "column entries need 'name' and 'type'");
+    }
+    ColumnSpec spec;
+    spec.name = entry.at("name").AsString();
+    const std::string type = ToLower(entry.at("type").AsString());
+    if (type == "numeric" || type == "number" || type == "float" ||
+        type == "int") {
+      spec.type = ColumnType::kNumeric;
+    } else if (type == "categorical" || type == "string" ||
+               type == "category") {
+      spec.type = ColumnType::kCategorical;
+    } else {
+      return Status::InvalidArgument("unknown column type: " + type);
+    }
+    if (entry.Contains("description")) {
+      spec.description = entry.at("description").AsString();
+    }
+    specs.push_back(std::move(spec));
+  }
+  return Schema(std::move(specs));
+}
+
+std::string SchemaToJson(const Schema& schema) {
+  JsonValue root = JsonValue::Object();
+  JsonValue columns = JsonValue::Array();
+  for (int64_t c = 0; c < schema.num_columns(); ++c) {
+    const ColumnSpec& spec = schema.column(c);
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::String(spec.name));
+    entry.Set("type",
+              JsonValue::String(spec.type == ColumnType::kNumeric
+                                    ? "numeric"
+                                    : "categorical"));
+    if (!spec.description.empty()) {
+      entry.Set("description", JsonValue::String(spec.description));
+    }
+    columns.Append(std::move(entry));
+  }
+  root.Set("columns", std::move(columns));
+  return root.Dump(/*indent=*/2);
+}
+
+StatusOr<Schema> LoadSchema(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return SchemaFromJson(buffer.str());
+}
+
+Status SaveSchema(const Schema& schema, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << SchemaToJson(schema);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace dquag

@@ -1,0 +1,33 @@
+// JSON schema descriptions for external datasets.
+//
+// Format:
+//   {"columns": [
+//      {"name": "age", "type": "numeric", "description": "age in years"},
+//      {"name": "city", "type": "categorical"}
+//   ]}
+// Used by the CLI and by integrations that load CSV data produced outside
+// this library. Descriptions are optional but recommended — they are the
+// feature descriptions the paper feeds to the LLM for graph construction.
+
+#ifndef DQUAG_DATA_SCHEMA_JSON_H_
+#define DQUAG_DATA_SCHEMA_JSON_H_
+
+#include <string>
+
+#include "data/table.h"
+
+namespace dquag {
+
+/// Parses a schema from JSON text.
+StatusOr<Schema> SchemaFromJson(const std::string& json_text);
+
+/// Serializes a schema to pretty-printed JSON.
+std::string SchemaToJson(const Schema& schema);
+
+/// File-level convenience wrappers.
+StatusOr<Schema> LoadSchema(const std::string& path);
+Status SaveSchema(const Schema& schema, const std::string& path);
+
+}  // namespace dquag
+
+#endif  // DQUAG_DATA_SCHEMA_JSON_H_

@@ -1,0 +1,226 @@
+#include "data/table.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_utils.h"
+
+namespace dquag {
+
+Schema::Schema(std::vector<ColumnSpec> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    DQUAG_CHECK(!index_.count(columns_[i].name));  // unique names
+    index_[columns_[i].name] = static_cast<int64_t>(i);
+  }
+}
+
+const ColumnSpec& Schema::column(int64_t index) const {
+  DQUAG_CHECK_GE(index, 0);
+  DQUAG_CHECK_LT(index, num_columns());
+  return columns_[static_cast<size_t>(index)];
+}
+
+int64_t Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::vector<std::string> Schema::Names() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const ColumnSpec& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  numeric_columns_.resize(static_cast<size_t>(schema_.num_columns()));
+  categorical_columns_.resize(static_cast<size_t>(schema_.num_columns()));
+}
+
+void Table::AppendRow(const std::vector<double>& numeric_cells,
+                      const std::vector<std::string>& categorical_cells) {
+  size_t ni = 0, ci = 0;
+  for (int64_t c = 0; c < schema_.num_columns(); ++c) {
+    if (schema_.column(c).type == ColumnType::kNumeric) {
+      DQUAG_CHECK_LT(ni, numeric_cells.size());
+      numeric_columns_[static_cast<size_t>(c)].push_back(numeric_cells[ni++]);
+    } else {
+      DQUAG_CHECK_LT(ci, categorical_cells.size());
+      categorical_columns_[static_cast<size_t>(c)].push_back(
+          categorical_cells[ci++]);
+    }
+  }
+  DQUAG_CHECK_EQ(ni, numeric_cells.size());
+  DQUAG_CHECK_EQ(ci, categorical_cells.size());
+  ++num_rows_;
+}
+
+std::vector<double>& Table::Numeric(int64_t column) {
+  DQUAG_CHECK(schema_.column(column).type == ColumnType::kNumeric);
+  return numeric_columns_[static_cast<size_t>(column)];
+}
+
+const std::vector<double>& Table::Numeric(int64_t column) const {
+  DQUAG_CHECK(schema_.column(column).type == ColumnType::kNumeric);
+  return numeric_columns_[static_cast<size_t>(column)];
+}
+
+std::vector<std::string>& Table::Categorical(int64_t column) {
+  DQUAG_CHECK(schema_.column(column).type == ColumnType::kCategorical);
+  return categorical_columns_[static_cast<size_t>(column)];
+}
+
+const std::vector<std::string>& Table::Categorical(int64_t column) const {
+  DQUAG_CHECK(schema_.column(column).type == ColumnType::kCategorical);
+  return categorical_columns_[static_cast<size_t>(column)];
+}
+
+std::vector<double>& Table::NumericByName(const std::string& name) {
+  const int64_t index = schema_.IndexOf(name);
+  DQUAG_CHECK_GE(index, 0);
+  return Numeric(index);
+}
+
+const std::vector<double>& Table::NumericByName(const std::string& name) const {
+  const int64_t index = schema_.IndexOf(name);
+  DQUAG_CHECK_GE(index, 0);
+  return Numeric(index);
+}
+
+std::vector<std::string>& Table::CategoricalByName(const std::string& name) {
+  const int64_t index = schema_.IndexOf(name);
+  DQUAG_CHECK_GE(index, 0);
+  return Categorical(index);
+}
+
+const std::vector<std::string>& Table::CategoricalByName(
+    const std::string& name) const {
+  const int64_t index = schema_.IndexOf(name);
+  DQUAG_CHECK_GE(index, 0);
+  return Categorical(index);
+}
+
+Table Table::SelectRows(const std::vector<size_t>& row_indices) const {
+  Table out(schema_);
+  for (int64_t c = 0; c < num_columns(); ++c) {
+    const size_t ci = static_cast<size_t>(c);
+    if (schema_.column(c).type == ColumnType::kNumeric) {
+      auto& dst = out.numeric_columns_[ci];
+      const auto& src = numeric_columns_[ci];
+      dst.reserve(row_indices.size());
+      for (size_t r : row_indices) {
+        DQUAG_CHECK_LT(r, src.size());
+        dst.push_back(src[r]);
+      }
+    } else {
+      auto& dst = out.categorical_columns_[ci];
+      const auto& src = categorical_columns_[ci];
+      dst.reserve(row_indices.size());
+      for (size_t r : row_indices) {
+        DQUAG_CHECK_LT(r, src.size());
+        dst.push_back(src[r]);
+      }
+    }
+  }
+  out.num_rows_ = static_cast<int64_t>(row_indices.size());
+  return out;
+}
+
+void Table::AppendRows(const Table& other) {
+  DQUAG_CHECK(schema_ == other.schema_);
+  for (int64_t c = 0; c < num_columns(); ++c) {
+    const size_t ci = static_cast<size_t>(c);
+    if (schema_.column(c).type == ColumnType::kNumeric) {
+      numeric_columns_[ci].insert(numeric_columns_[ci].end(),
+                                  other.numeric_columns_[ci].begin(),
+                                  other.numeric_columns_[ci].end());
+    } else {
+      categorical_columns_[ci].insert(categorical_columns_[ci].end(),
+                                      other.categorical_columns_[ci].begin(),
+                                      other.categorical_columns_[ci].end());
+    }
+  }
+  num_rows_ += other.num_rows_;
+}
+
+CsvDocument Table::ToCsv() const {
+  CsvDocument doc;
+  doc.header = schema_.Names();
+  doc.rows.reserve(static_cast<size_t>(num_rows_));
+  char buffer[64];
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    std::vector<std::string> row;
+    row.reserve(static_cast<size_t>(num_columns()));
+    for (int64_t c = 0; c < num_columns(); ++c) {
+      const size_t ci = static_cast<size_t>(c);
+      if (schema_.column(c).type == ColumnType::kNumeric) {
+        const double v = numeric_columns_[ci][static_cast<size_t>(r)];
+        if (IsMissing(v)) {
+          row.emplace_back();
+        } else {
+          std::snprintf(buffer, sizeof(buffer), "%.10g", v);
+          row.emplace_back(buffer);
+        }
+      } else {
+        row.push_back(categorical_columns_[ci][static_cast<size_t>(r)]);
+      }
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+StatusOr<Table> Table::FromCsv(const Schema& schema, const CsvDocument& doc) {
+  if (static_cast<int64_t>(doc.header.size()) != schema.num_columns()) {
+    return Status::InvalidArgument("CSV width does not match schema");
+  }
+  for (int64_t c = 0; c < schema.num_columns(); ++c) {
+    if (doc.header[static_cast<size_t>(c)] != schema.column(c).name) {
+      return Status::InvalidArgument("CSV header mismatch at column " +
+                                     std::to_string(c) + ": got '" +
+                                     doc.header[static_cast<size_t>(c)] +
+                                     "', want '" + schema.column(c).name +
+                                     "'");
+    }
+  }
+  Table table(schema);
+  for (const auto& row : doc.rows) {
+    std::vector<double> numeric_cells;
+    std::vector<std::string> categorical_cells;
+    for (int64_t c = 0; c < schema.num_columns(); ++c) {
+      const std::string& cell = row[static_cast<size_t>(c)];
+      if (schema.column(c).type == ColumnType::kNumeric) {
+        const std::string trimmed = Trim(cell);
+        if (trimmed.empty()) {
+          numeric_cells.push_back(MissingValue());
+        } else {
+          char* end = nullptr;
+          const double v = std::strtod(trimmed.c_str(), &end);
+          if (end == trimmed.c_str()) {
+            return Status::InvalidArgument("non-numeric cell '" + cell +
+                                           "' in numeric column " +
+                                           schema.column(c).name);
+          }
+          numeric_cells.push_back(v);
+        }
+      } else {
+        categorical_cells.push_back(cell);
+      }
+    }
+    table.AppendRow(numeric_cells, categorical_cells);
+  }
+  return table;
+}
+
+}  // namespace dquag

@@ -1,0 +1,110 @@
+// Columnar tabular data model.
+//
+// A Table is a Schema plus typed column buffers: numeric columns are
+// vector<double> (NaN = missing), categorical columns are vector<string>
+// ("" = missing). This is the exchange type between dataset generators,
+// error injectors, the preprocessor, and the baselines.
+
+#ifndef DQUAG_DATA_TABLE_H_
+#define DQUAG_DATA_TABLE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace dquag {
+
+enum class ColumnType { kNumeric, kCategorical };
+
+/// Column metadata. `description` mirrors the feature descriptions the paper
+/// feeds to the LLM for graph construction.
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kNumeric;
+  std::string description;
+};
+
+/// Ordered collection of column specs with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns);
+
+  int64_t num_columns() const { return static_cast<int64_t>(columns_.size()); }
+  const ColumnSpec& column(int64_t index) const;
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  /// Index of a column by name, or -1.
+  int64_t IndexOf(const std::string& name) const;
+
+  /// Names in order.
+  std::vector<std::string> Names() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+  std::map<std::string, int64_t> index_;
+};
+
+/// Missing-value sentinel for numeric cells.
+inline bool IsMissing(double value) { return std::isnan(value); }
+inline double MissingValue() { return std::nan(""); }
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+  int64_t num_columns() const { return schema_.num_columns(); }
+
+  /// Appends one row; `numeric_cells` / `categorical_cells` are consumed in
+  /// schema order (numeric columns pull from the first list, categorical
+  /// from the second).
+  void AppendRow(const std::vector<double>& numeric_cells,
+                 const std::vector<std::string>& categorical_cells);
+
+  /// Mutable / const access to a numeric column by index.
+  std::vector<double>& Numeric(int64_t column);
+  const std::vector<double>& Numeric(int64_t column) const;
+
+  /// Mutable / const access to a categorical column by index.
+  std::vector<std::string>& Categorical(int64_t column);
+  const std::vector<std::string>& Categorical(int64_t column) const;
+
+  /// Convenience by-name variants (checked).
+  std::vector<double>& NumericByName(const std::string& name);
+  const std::vector<double>& NumericByName(const std::string& name) const;
+  std::vector<std::string>& CategoricalByName(const std::string& name);
+  const std::vector<std::string>& CategoricalByName(
+      const std::string& name) const;
+
+  /// New table containing the given rows (in order, duplicates allowed).
+  Table SelectRows(const std::vector<size_t>& row_indices) const;
+
+  /// Appends all rows of `other` (same schema required).
+  void AppendRows(const Table& other);
+
+  /// CSV round trip. Numeric NaN serializes as the empty field.
+  CsvDocument ToCsv() const;
+  static StatusOr<Table> FromCsv(const Schema& schema,
+                                 const CsvDocument& doc);
+
+ private:
+  Schema schema_;
+  // Parallel to schema: exactly one of the two per column is used.
+  std::vector<std::vector<double>> numeric_columns_;
+  std::vector<std::vector<std::string>> categorical_columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_DATA_TABLE_H_

@@ -1,0 +1,55 @@
+#include "eval/experiment.h"
+
+#include <cstdio>
+
+#include "data/batch_sampler.h"
+
+namespace dquag {
+
+void DquagBatchValidator::Fit(const Table& clean) {
+  pipeline_ = std::make_unique<DquagPipeline>(options_);
+  const Status status = pipeline_->Fit(clean);
+  DQUAG_CHECK(status.ok());
+}
+
+bool DquagBatchValidator::IsDirty(const Table& batch) {
+  DQUAG_CHECK(pipeline_ != nullptr);
+  return pipeline_->Validate(batch).is_dirty;
+}
+
+BatchSets MakeBatchSets(const Table& clean_source, const Table& dirty_source,
+                        int num_batches, double fraction, Rng& rng) {
+  BatchSets sets;
+  sets.clean = SampleBatches(clean_source, num_batches, fraction, rng);
+  sets.dirty = SampleBatches(dirty_source, num_batches, fraction, rng);
+  return sets;
+}
+
+MethodResult EvaluateValidator(BatchValidator& validator,
+                               const BatchSets& sets) {
+  MethodResult result;
+  result.method = validator.name();
+  for (const Table& batch : sets.clean) {
+    result.counts.Add(validator.IsDirty(batch), /*actually_dirty=*/false);
+  }
+  for (const Table& batch : sets.dirty) {
+    result.counts.Add(validator.IsDirty(batch), /*actually_dirty=*/true);
+  }
+  result.accuracy = result.counts.Accuracy();
+  result.recall = result.counts.Recall();
+  return result;
+}
+
+void PrintResultTable(const std::string& title,
+                      const std::vector<MethodResult>& results) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-28s %10s %10s\n", "Method", "Accuracy", "Recall");
+  std::printf("%-28s %10s %10s\n", "----------------------------",
+              "--------", "--------");
+  for (const MethodResult& r : results) {
+    std::printf("%-28s %10.3f %10.3f\n", r.method.c_str(), r.accuracy,
+                r.recall);
+  }
+}
+
+}  // namespace dquag

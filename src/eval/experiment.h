@@ -1,0 +1,63 @@
+// Shared experiment harness for the paper's batch-classification protocol
+// (§4.2): N clean batches + N dirty batches, each a `fraction` sample of its
+// source table, classified by every method; accuracy and recall reported.
+
+#ifndef DQUAG_EVAL_EXPERIMENT_H_
+#define DQUAG_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/batch_validator.h"
+#include "core/pipeline.h"
+#include "eval/metrics.h"
+
+namespace dquag {
+
+/// DQuaG wrapped in the common baseline interface.
+class DquagBatchValidator : public BatchValidator {
+ public:
+  explicit DquagBatchValidator(DquagPipelineOptions options = {})
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "DQuaG"; }
+  void Fit(const Table& clean) override;
+  bool IsDirty(const Table& batch) override;
+
+  const DquagPipeline& pipeline() const { return *pipeline_; }
+
+ private:
+  DquagPipelineOptions options_;
+  std::unique_ptr<DquagPipeline> pipeline_;
+};
+
+/// The two batch pools of one experiment.
+struct BatchSets {
+  std::vector<Table> clean;
+  std::vector<Table> dirty;
+};
+
+/// Samples `num_batches` batches of `fraction` rows from each source
+/// (paper: 50 batches of 10%).
+BatchSets MakeBatchSets(const Table& clean_source, const Table& dirty_source,
+                        int num_batches, double fraction, Rng& rng);
+
+struct MethodResult {
+  std::string method;
+  double accuracy = 0.0;
+  double recall = 0.0;
+  ConfusionCounts counts;
+};
+
+/// Classifies every batch in `sets` with `validator` (already fitted).
+MethodResult EvaluateValidator(BatchValidator& validator,
+                               const BatchSets& sets);
+
+/// Prints an aligned result table to stdout.
+void PrintResultTable(const std::string& title,
+                      const std::vector<MethodResult>& results);
+
+}  // namespace dquag
+
+#endif  // DQUAG_EVAL_EXPERIMENT_H_

@@ -1,0 +1,41 @@
+#include "eval/metrics.h"
+
+namespace dquag {
+
+void ConfusionCounts::Add(bool predicted_dirty, bool actually_dirty) {
+  if (predicted_dirty && actually_dirty) {
+    ++true_positive;
+  } else if (predicted_dirty && !actually_dirty) {
+    ++false_positive;
+  } else if (!predicted_dirty && actually_dirty) {
+    ++false_negative;
+  } else {
+    ++true_negative;
+  }
+}
+
+double ConfusionCounts::Accuracy() const {
+  const int64_t total = Total();
+  if (total == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(total);
+}
+
+double ConfusionCounts::Recall() const {
+  const int64_t positives = true_positive + false_negative;
+  if (positives == 0) return 0.0;
+  return static_cast<double>(true_positive) /
+         static_cast<double>(positives);
+}
+
+double ConfusionCounts::Precision() const {
+  const int64_t flagged = true_positive + false_positive;
+  if (flagged == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(flagged);
+}
+
+int64_t ConfusionCounts::Total() const {
+  return true_positive + false_positive + true_negative + false_negative;
+}
+
+}  // namespace dquag

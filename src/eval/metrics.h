@@ -1,0 +1,29 @@
+// Classification metrics for the batch-validation experiments (§4.2).
+
+#ifndef DQUAG_EVAL_METRICS_H_
+#define DQUAG_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dquag {
+
+/// Binary-classification tallies over batches (positive = dirty).
+struct ConfusionCounts {
+  int64_t true_positive = 0;
+  int64_t false_positive = 0;
+  int64_t true_negative = 0;
+  int64_t false_negative = 0;
+
+  void Add(bool predicted_dirty, bool actually_dirty);
+
+  double Accuracy() const;
+  /// Recall of the dirty class. 0 when there are no dirty batches.
+  double Recall() const;
+  double Precision() const;
+  int64_t Total() const;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_EVAL_METRICS_H_

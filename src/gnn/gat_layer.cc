@@ -1,0 +1,80 @@
+#include "gnn/gat_layer.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace dquag {
+
+GatLayer::GatLayer(const FeatureGraph& graph, int64_t in_dim, int64_t out_dim,
+                   int64_t num_heads, Rng& rng, float leaky_slope)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      num_heads_(num_heads),
+      head_dim_(out_dim / num_heads),
+      num_nodes_(graph.num_nodes()),
+      leaky_slope_(leaky_slope) {
+  DQUAG_CHECK_EQ(head_dim_ * num_heads_, out_dim_);
+  // GAT attends over neighbours and the node itself.
+  FeatureGraph looped = graph;
+  looped.AddSelfLoops();
+  src_ = looped.src();
+  dst_ = looped.dst();
+  for (int64_t k = 0; k < num_heads_; ++k) {
+    const std::string suffix = "_h" + std::to_string(k);
+    head_weights_.push_back(RegisterParameter(
+        "weight" + suffix, XavierUniform(in_dim_, head_dim_, rng)));
+    attn_src_.push_back(RegisterParameter(
+        "attn_src" + suffix, XavierUniform(head_dim_, 1, rng)));
+    attn_dst_.push_back(RegisterParameter(
+        "attn_dst" + suffix, XavierUniform(head_dim_, 1, rng)));
+  }
+  bias_ = RegisterParameter("bias", Tensor::Zeros({out_dim_}));
+}
+
+VarPtr GatLayer::Forward(const VarPtr& node_features) const {
+  DQUAG_CHECK_EQ(node_features->value().dim(-1), in_dim_);
+  const bool batched = node_features->value().ndim() == 3;
+  const int64_t batch = batched ? node_features->value().dim(0) : 1;
+  const int64_t num_arcs = static_cast<int64_t>(src_.size());
+
+  last_attention_.assign(static_cast<size_t>(num_heads_), {});
+  std::vector<VarPtr> head_outputs;
+  head_outputs.reserve(static_cast<size_t>(num_heads_));
+  for (int64_t k = 0; k < num_heads_; ++k) {
+    const size_t ki = static_cast<size_t>(k);
+    VarPtr projected = ag::MatMul(node_features, head_weights_[ki]);
+    // Per-node attention logits a_s.Wh and a_d.Wh: [B, N, 1].
+    VarPtr logit_src = ag::MatMul(projected, attn_src_[ki]);
+    VarPtr logit_dst = ag::MatMul(projected, attn_dst_[ki]);
+    // Move to arcs and combine: e = LeakyReLU(ls[src] + ld[dst]).
+    VarPtr arc_src_logit = ag::GatherAxis1(logit_src, src_);
+    VarPtr arc_dst_logit = ag::GatherAxis1(logit_dst, dst_);
+    VarPtr scores = ag::LeakyRelu(ag::Add(arc_src_logit, arc_dst_logit),
+                                  leaky_slope_);
+    // Softmax over arcs sharing a destination node.
+    Shape flat_shape = batched ? Shape{batch, num_arcs} : Shape{num_arcs};
+    VarPtr alpha = ag::SegmentSoftmaxAxis1(ag::Reshape(scores, flat_shape),
+                                           dst_, num_nodes_);
+    // Record attention of the first batch element for diagnostics.
+    {
+      std::vector<float>& snapshot = last_attention_[ki];
+      snapshot.resize(static_cast<size_t>(num_arcs));
+      const float* pa = alpha->value().data();
+      for (int64_t e = 0; e < num_arcs; ++e) {
+        snapshot[static_cast<size_t>(e)] = pa[e];
+      }
+    }
+    Shape alpha_shape =
+        batched ? Shape{batch, num_arcs, 1} : Shape{num_arcs, 1};
+    VarPtr alpha3 = ag::Reshape(alpha, std::move(alpha_shape));
+    VarPtr messages = ag::GatherAxis1(projected, src_);  // [B, E, head]
+    VarPtr weighted = ag::Mul(messages, alpha3);
+    head_outputs.push_back(ag::ScatterAddAxis1(weighted, dst_, num_nodes_));
+  }
+  VarPtr combined = head_outputs.size() == 1
+                        ? head_outputs[0]
+                        : ag::Concat(head_outputs, /*axis=*/-1);
+  return ag::Add(combined, bias_);
+}
+
+}  // namespace dquag

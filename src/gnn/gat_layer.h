@@ -1,0 +1,59 @@
+// Graph Attention Network layer (Veličković et al., 2018).
+//
+// Per head k:  e_uv = LeakyReLU(a_s · W_k h_u + a_d · W_k h_v)
+//              α_uv = softmax over arcs sharing destination v
+//              h'_v = Σ_u α_uv W_k h_u
+// Heads are concatenated (out_dim must be divisible by num_heads). The
+// paper's model uses GAT layers to learn edge importance automatically,
+// removing the need for manual edge weights in the feature graph (§3.1.2).
+
+#ifndef DQUAG_GNN_GAT_LAYER_H_
+#define DQUAG_GNN_GAT_LAYER_H_
+
+#include <memory>
+#include <vector>
+
+#include "gnn/layer.h"
+#include "util/rng.h"
+
+namespace dquag {
+
+class GatLayer : public GnnLayer {
+ public:
+  GatLayer(const FeatureGraph& graph, int64_t in_dim, int64_t out_dim,
+           int64_t num_heads, Rng& rng, float leaky_slope = 0.2f);
+
+  VarPtr Forward(const VarPtr& node_features) const override;
+
+  int64_t in_dim() const override { return in_dim_; }
+  int64_t out_dim() const override { return out_dim_; }
+  int64_t num_heads() const { return num_heads_; }
+
+  /// Post-softmax attention coefficients of the last Forward call on the
+  /// first batch element, one vector per head (diagnostic; used by tests
+  /// and the interpretability example).
+  const std::vector<std::vector<float>>& last_attention() const {
+    return last_attention_;
+  }
+  const std::vector<int32_t>& arc_src() const { return src_; }
+  const std::vector<int32_t>& arc_dst() const { return dst_; }
+
+ private:
+  int64_t in_dim_;
+  int64_t out_dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  int64_t num_nodes_;
+  float leaky_slope_;
+  std::vector<int32_t> src_;
+  std::vector<int32_t> dst_;
+  std::vector<VarPtr> head_weights_;   // [in, head_dim] per head
+  std::vector<VarPtr> attn_src_;       // [head_dim, 1] per head
+  std::vector<VarPtr> attn_dst_;       // [head_dim, 1] per head
+  VarPtr bias_;                        // [out]
+  mutable std::vector<std::vector<float>> last_attention_;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_GNN_GAT_LAYER_H_

@@ -1,0 +1,32 @@
+#include "gnn/gcn_layer.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace dquag {
+
+GcnLayer::GcnLayer(const FeatureGraph& graph, int64_t in_dim, int64_t out_dim,
+                   Rng& rng)
+    : in_dim_(in_dim), out_dim_(out_dim), num_nodes_(graph.num_nodes()) {
+  // Work on a self-looped copy: GCN's propagation includes the node itself.
+  FeatureGraph looped = graph;
+  looped.AddSelfLoops();
+  src_ = looped.src();
+  dst_ = looped.dst();
+  const std::vector<float> coefficients = looped.GcnNormalization();
+  norm_ = Tensor({static_cast<int64_t>(coefficients.size()), 1},
+                 std::vector<float>(coefficients.begin(), coefficients.end()));
+  weight_ = RegisterParameter("weight", XavierUniform(in_dim, out_dim, rng));
+  bias_ = RegisterParameter("bias", Tensor::Zeros({out_dim}));
+}
+
+VarPtr GcnLayer::Forward(const VarPtr& node_features) const {
+  DQUAG_CHECK_EQ(node_features->value().dim(-1), in_dim_);
+  VarPtr transformed = ag::MatMul(node_features, weight_);  // [B, N, out]
+  VarPtr messages = ag::GatherAxis1(transformed, src_);     // [B, E, out]
+  VarPtr scaled = ag::Mul(messages, MakeVar(norm_));        // per-arc scale
+  VarPtr aggregated = ag::ScatterAddAxis1(scaled, dst_, num_nodes_);
+  return ag::Add(aggregated, bias_);
+}
+
+}  // namespace dquag

@@ -1,0 +1,102 @@
+#include "gnn/graph2vec_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace dquag {
+
+namespace {
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // boost::hash_combine-style mixing.
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace
+
+Graph2VecEncoder::Graph2VecEncoder(const FeatureGraph& graph, int64_t out_dim,
+                                   Rng& rng, Graph2VecConfig config)
+    : num_nodes_(graph.num_nodes()),
+      out_dim_(out_dim),
+      config_(config),
+      src_(graph.src()),
+      dst_(graph.dst()) {
+  projection_ =
+      std::make_unique<Linear>(config_.histogram_dim, out_dim, rng);
+  RegisterModule(projection_.get());
+  node_embedding_ = RegisterParameter(
+      "node_embedding", XavierUniform(num_nodes_, out_dim, rng));
+}
+
+std::vector<float> Graph2VecEncoder::WlHistogram(const float* row) const {
+  // Initial labels: discretized cell values (out-of-range values clamp to
+  // the overflow bins, so anomalies land in distinctive buckets).
+  std::vector<uint64_t> labels(static_cast<size_t>(num_nodes_));
+  for (int64_t v = 0; v < num_nodes_; ++v) {
+    float value = row[v];
+    const float binf = std::floor(value * static_cast<float>(config_.value_bins));
+    int64_t bin = static_cast<int64_t>(binf);
+    bin = std::clamp<int64_t>(bin, -1, config_.value_bins);
+    // Node identity enters the initial label, as column position matters.
+    labels[static_cast<size_t>(v)] =
+        HashCombine(static_cast<uint64_t>(v + 1),
+                    static_cast<uint64_t>(bin + 2));
+  }
+
+  std::vector<float> histogram(static_cast<size_t>(config_.histogram_dim),
+                               0.0f);
+  auto add_labels = [&] {
+    for (uint64_t label : labels) {
+      histogram[label % static_cast<uint64_t>(config_.histogram_dim)] += 1.0f;
+    }
+  };
+  add_labels();
+
+  std::vector<uint64_t> next(labels.size());
+  for (int64_t iter = 0; iter < config_.wl_iterations; ++iter) {
+    // WL relabel: combine own label with the multiset of neighbour labels.
+    // Sorting neighbour labels is emulated by an order-independent sum hash.
+    std::vector<uint64_t> neighbour_mix(labels.size(), 0);
+    for (size_t e = 0; e < src_.size(); ++e) {
+      neighbour_mix[static_cast<size_t>(dst_[e])] +=
+          labels[static_cast<size_t>(src_[e])] * 0x100000001b3ULL;
+    }
+    for (size_t v = 0; v < labels.size(); ++v) {
+      next[v] = HashCombine(labels[v], neighbour_mix[v]);
+    }
+    labels.swap(next);
+    add_labels();
+  }
+  // L2 normalize so histogram magnitude does not depend on graph size.
+  double norm = 0.0;
+  for (float h : histogram) norm += static_cast<double>(h) * h;
+  if (norm > 0.0) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm));
+    for (float& h : histogram) h *= inv;
+  }
+  return histogram;
+}
+
+VarPtr Graph2VecEncoder::Forward(const VarPtr& x) const {
+  DQUAG_CHECK_EQ(x->value().ndim(), 2);
+  DQUAG_CHECK_EQ(x->value().dim(1), num_nodes_);
+  const int64_t batch = x->value().dim(0);
+
+  Tensor histograms({batch, config_.histogram_dim});
+  for (int64_t b = 0; b < batch; ++b) {
+    const std::vector<float> h =
+        WlHistogram(x->value().data() + b * num_nodes_);
+    std::copy(h.begin(), h.end(),
+              histograms.data() + b * config_.histogram_dim);
+  }
+  // Graph embedding [B, H] -> broadcast to nodes and add node embeddings.
+  VarPtr graph_embed = projection_->Forward(MakeVar(std::move(histograms)));
+  VarPtr graph3 = ag::Reshape(graph_embed, {batch, 1, out_dim_});
+  // [B, 1, H] + [N, H] broadcasts to [B, N, H].
+  return ag::Add(graph3, node_embedding_);
+}
+
+}  // namespace dquag

@@ -1,0 +1,54 @@
+// Graph2Vec-style baseline encoder (Narayanan et al., 2017), Table 2.
+//
+// graph2vec embeds whole graphs from Weisfeiler-Lehman subtree features.
+// For per-instance feature graphs we reproduce the idea as follows: each
+// instance's node labels are its discretized cell values; L rounds of WL
+// relabelling over the feature graph produce subtree labels whose hashed
+// histogram is the instance's structural signature. A learned linear
+// projection of the histogram, plus a learned per-node embedding, yields the
+// [B, N, H] output expected by the decoders. The WL part is deterministic
+// and gradient-free (as in the original doc2vec-style method); only the
+// projection and node embeddings train.
+
+#ifndef DQUAG_GNN_GRAPH2VEC_ENCODER_H_
+#define DQUAG_GNN_GRAPH2VEC_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "gnn/layer.h"
+#include "nn/linear.h"
+#include "util/rng.h"
+
+namespace dquag {
+
+struct Graph2VecConfig {
+  int64_t wl_iterations = 2;
+  int64_t value_bins = 16;       // discretization of cell values into labels
+  int64_t histogram_dim = 256;   // hashed WL-label histogram size
+};
+
+class Graph2VecEncoder : public Module {
+ public:
+  Graph2VecEncoder(const FeatureGraph& graph, int64_t out_dim, Rng& rng,
+                   Graph2VecConfig config = {});
+
+  /// x: raw preprocessed rows [B, N] (values in [0, 1]); returns [B, N, H].
+  VarPtr Forward(const VarPtr& x) const;
+
+  /// Deterministic WL histogram of one row (exposed for tests): [hist_dim].
+  std::vector<float> WlHistogram(const float* row) const;
+
+ private:
+  int64_t num_nodes_;
+  int64_t out_dim_;
+  Graph2VecConfig config_;
+  std::vector<int32_t> src_;
+  std::vector<int32_t> dst_;
+  std::unique_ptr<Linear> projection_;  // hist_dim -> out_dim
+  VarPtr node_embedding_;               // [N, out_dim]
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_GNN_GRAPH2VEC_ENCODER_H_

@@ -1,0 +1,28 @@
+// Common interface for message-passing layers.
+//
+// Layers are constructed against a fixed FeatureGraph and precompute their
+// arc lists (adding self-loops where the layer's formulation requires them),
+// so Forward is a pure function of the node-feature tensor.
+
+#ifndef DQUAG_GNN_LAYER_H_
+#define DQUAG_GNN_LAYER_H_
+
+#include "graph/feature_graph.h"
+#include "nn/module.h"
+
+namespace dquag {
+
+/// Message-passing layer over [B, N, in_dim] -> [B, N, out_dim].
+class GnnLayer : public Module {
+ public:
+  ~GnnLayer() override = default;
+
+  virtual VarPtr Forward(const VarPtr& node_features) const = 0;
+
+  virtual int64_t in_dim() const = 0;
+  virtual int64_t out_dim() const = 0;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_GNN_LAYER_H_

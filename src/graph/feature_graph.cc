@@ -1,0 +1,143 @@
+#include "graph/feature_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace dquag {
+
+FeatureGraph::FeatureGraph(int64_t num_nodes,
+                           std::vector<std::string> node_names)
+    : num_nodes_(num_nodes), node_names_(std::move(node_names)) {
+  DQUAG_CHECK_GT(num_nodes_, 0);
+  if (!node_names_.empty()) {
+    DQUAG_CHECK_EQ(static_cast<int64_t>(node_names_.size()), num_nodes_);
+  }
+}
+
+void FeatureGraph::AddUndirectedEdge(int32_t a, int32_t b) {
+  DQUAG_CHECK_GE(a, 0);
+  DQUAG_CHECK_LT(a, num_nodes_);
+  DQUAG_CHECK_GE(b, 0);
+  DQUAG_CHECK_LT(b, num_nodes_);
+  if (a == b) return;
+  if (HasArc(a, b)) return;
+  src_.push_back(a);
+  dst_.push_back(b);
+  src_.push_back(b);
+  dst_.push_back(a);
+}
+
+void FeatureGraph::AddSelfLoops() {
+  if (has_self_loops_) return;
+  for (int32_t v = 0; v < num_nodes_; ++v) {
+    src_.push_back(v);
+    dst_.push_back(v);
+  }
+  has_self_loops_ = true;
+}
+
+bool FeatureGraph::HasArc(int32_t a, int32_t b) const {
+  for (size_t e = 0; e < src_.size(); ++e) {
+    if (src_[e] == a && dst_[e] == b) return true;
+  }
+  return false;
+}
+
+int64_t FeatureGraph::num_connected_nodes() const {
+  std::set<int32_t> connected;
+  for (size_t e = 0; e < src_.size(); ++e) {
+    if (src_[e] != dst_[e]) {
+      connected.insert(src_[e]);
+      connected.insert(dst_[e]);
+    }
+  }
+  return static_cast<int64_t>(connected.size());
+}
+
+int64_t FeatureGraph::InDegree(int32_t node) const {
+  int64_t degree = 0;
+  for (int32_t d : dst_) {
+    if (d == node) ++degree;
+  }
+  return degree;
+}
+
+std::vector<float> FeatureGraph::GcnNormalization() const {
+  std::vector<int64_t> in_degree(static_cast<size_t>(num_nodes_), 0);
+  for (int32_t d : dst_) ++in_degree[static_cast<size_t>(d)];
+  std::vector<float> coefficients(src_.size());
+  for (size_t e = 0; e < src_.size(); ++e) {
+    const double ds = std::max<int64_t>(1, in_degree[static_cast<size_t>(src_[e])]);
+    const double dd = std::max<int64_t>(1, in_degree[static_cast<size_t>(dst_[e])]);
+    coefficients[e] = static_cast<float>(1.0 / std::sqrt(ds * dd));
+  }
+  return coefficients;
+}
+
+FeatureGraph FeatureGraph::Complete(int64_t num_nodes,
+                                    std::vector<std::string> node_names) {
+  FeatureGraph g(num_nodes, std::move(node_names));
+  for (int32_t a = 0; a < num_nodes; ++a) {
+    for (int32_t b = a + 1; b < num_nodes; ++b) {
+      g.AddUndirectedEdge(a, b);
+    }
+  }
+  return g;
+}
+
+FeatureGraph FeatureGraph::Chain(int64_t num_nodes) {
+  FeatureGraph g(num_nodes);
+  for (int32_t v = 0; v + 1 < num_nodes; ++v) {
+    g.AddUndirectedEdge(v, v + 1);
+  }
+  return g;
+}
+
+StatusOr<FeatureGraph> FeatureGraph::FromRelationships(
+    const std::vector<std::string>& feature_names,
+    const std::vector<FeatureRelationship>& relationships) {
+  std::map<std::string, int32_t> index;
+  for (size_t i = 0; i < feature_names.size(); ++i) {
+    index[feature_names[i]] = static_cast<int32_t>(i);
+  }
+  FeatureGraph g(static_cast<int64_t>(feature_names.size()),
+                 feature_names);
+  for (const FeatureRelationship& rel : relationships) {
+    auto it1 = index.find(rel.feature1);
+    auto it2 = index.find(rel.feature2);
+    if (it1 == index.end()) {
+      return Status::NotFound("unknown feature in relationship: " +
+                              rel.feature1);
+    }
+    if (it2 == index.end()) {
+      return Status::NotFound("unknown feature in relationship: " +
+                              rel.feature2);
+    }
+    g.AddUndirectedEdge(it1->second, it2->second);
+  }
+  // Give isolated nodes a self arc so they receive (their own) message.
+  std::set<int32_t> connected;
+  for (size_t e = 0; e < g.src_.size(); ++e) {
+    connected.insert(g.src_[e]);
+    connected.insert(g.dst_[e]);
+  }
+  for (int32_t v = 0; v < g.num_nodes_; ++v) {
+    if (!connected.count(v)) {
+      g.src_.push_back(v);
+      g.dst_.push_back(v);
+    }
+  }
+  return g;
+}
+
+std::string FeatureGraph::ToString() const {
+  std::ostringstream out;
+  out << "FeatureGraph(nodes=" << num_nodes_ << ", arcs=" << num_arcs()
+      << ")";
+  return out.str();
+}
+
+}  // namespace dquag

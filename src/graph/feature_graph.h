@@ -1,0 +1,94 @@
+// Feature graph: nodes are table columns, edges are inter-feature
+// relationships (paper §3.1.1).
+//
+// The graph is stored as a directed edge list. Undirected relationships are
+// inserted as two directed edges so that message passing is symmetric. The
+// edge list representation is what the gather/scatter GNN kernels consume
+// directly; per-edge GCN normalization coefficients are precomputed.
+
+#ifndef DQUAG_GRAPH_FEATURE_GRAPH_H_
+#define DQUAG_GRAPH_FEATURE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dquag {
+
+/// An undirected relationship between two named features (the unit of the
+/// paper's ChatGPT-inferred JSON exchange format).
+struct FeatureRelationship {
+  std::string feature1;
+  std::string feature2;
+  /// Association strength in [0, 1] when mined statistically; 1.0 when the
+  /// relationship comes from an external (e.g. LLM) source.
+  double score = 1.0;
+  /// "numeric", "categorical", "mixed", or "external".
+  std::string kind = "external";
+};
+
+/// Graph over feature nodes with an edge-list view for GNN kernels.
+class FeatureGraph {
+ public:
+  /// Creates a graph with `num_nodes` feature nodes named `node_names`
+  /// (names may be empty for anonymous graphs).
+  explicit FeatureGraph(int64_t num_nodes,
+                        std::vector<std::string> node_names = {});
+
+  /// Adds an undirected edge (two directed arcs). Duplicate and self edges
+  /// are ignored.
+  void AddUndirectedEdge(int32_t a, int32_t b);
+
+  /// Adds a self-loop arc on every node (idempotent).
+  void AddSelfLoops();
+
+  /// Whether an arc a->b exists.
+  bool HasArc(int32_t a, int32_t b) const;
+
+  int64_t num_nodes() const { return num_nodes_; }
+  /// Number of directed arcs (2x undirected edges, + self loops if added).
+  int64_t num_arcs() const { return static_cast<int64_t>(src_.size()); }
+  /// Number of nodes with at least one incident non-self arc.
+  int64_t num_connected_nodes() const;
+
+  const std::vector<int32_t>& src() const { return src_; }
+  const std::vector<int32_t>& dst() const { return dst_; }
+  const std::vector<std::string>& node_names() const { return node_names_; }
+
+  /// In-degree (arcs pointing at the node).
+  int64_t InDegree(int32_t node) const;
+
+  /// Per-arc symmetric GCN normalization 1/sqrt(deg(src) * deg(dst)), where
+  /// degrees count all arcs incident as destination. Recomputed on demand.
+  std::vector<float> GcnNormalization() const;
+
+  /// Fully connected graph (every distinct pair), the fallback when no
+  /// relationship source is available.
+  static FeatureGraph Complete(int64_t num_nodes,
+                               std::vector<std::string> node_names = {});
+
+  /// Simple path 0-1-2-...-(n-1); used in tests.
+  static FeatureGraph Chain(int64_t num_nodes);
+
+  /// Builds a graph from named relationships. Unknown feature names are
+  /// reported as errors. Isolated nodes get a self-loop so they still
+  /// receive a message.
+  static StatusOr<FeatureGraph> FromRelationships(
+      const std::vector<std::string>& feature_names,
+      const std::vector<FeatureRelationship>& relationships);
+
+  std::string ToString() const;
+
+ private:
+  int64_t num_nodes_;
+  std::vector<std::string> node_names_;
+  std::vector<int32_t> src_;
+  std::vector<int32_t> dst_;
+  bool has_self_loops_ = false;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_GRAPH_FEATURE_GRAPH_H_

@@ -1,0 +1,190 @@
+#include "graph/relationship_inference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/check.h"
+
+namespace dquag {
+
+namespace {
+
+/// Maps arbitrary level values to dense indices, pooling overflow levels
+/// beyond max_levels into the last bucket.
+std::vector<size_t> Densify(const std::vector<double>& codes,
+                            size_t max_levels, size_t& num_levels) {
+  std::map<double, size_t> level_index;
+  std::vector<size_t> dense(codes.size());
+  for (size_t i = 0; i < codes.size(); ++i) {
+    auto [it, inserted] =
+        level_index.try_emplace(codes[i], level_index.size());
+    size_t idx = it->second;
+    if (idx >= max_levels) idx = max_levels - 1;
+    dense[i] = idx;
+  }
+  num_levels = std::min(level_index.size(), max_levels);
+  return dense;
+}
+
+}  // namespace
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  DQUAG_CHECK_EQ(x.size(), y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mean_x = 0.0, mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double cov = 0.0, var_x = 0.0, var_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x <= 0.0 || var_y <= 0.0) return 0.0;
+  return cov / std::sqrt(var_x * var_y);
+}
+
+double CramersV(const std::vector<double>& x_codes,
+                const std::vector<double>& y_codes, size_t max_levels) {
+  DQUAG_CHECK_EQ(x_codes.size(), y_codes.size());
+  const size_t n = x_codes.size();
+  if (n == 0) return 0.0;
+  size_t levels_x = 0, levels_y = 0;
+  const std::vector<size_t> dx = Densify(x_codes, max_levels, levels_x);
+  const std::vector<size_t> dy = Densify(y_codes, max_levels, levels_y);
+  if (levels_x < 2 || levels_y < 2) return 0.0;
+
+  std::vector<double> table(levels_x * levels_y, 0.0);
+  std::vector<double> row(levels_x, 0.0), col(levels_y, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    table[dx[i] * levels_y + dy[i]] += 1.0;
+    row[dx[i]] += 1.0;
+    col[dy[i]] += 1.0;
+  }
+  double chi2 = 0.0;
+  for (size_t a = 0; a < levels_x; ++a) {
+    for (size_t b = 0; b < levels_y; ++b) {
+      const double expected = row[a] * col[b] / static_cast<double>(n);
+      if (expected <= 0.0) continue;
+      const double delta = table[a * levels_y + b] - expected;
+      chi2 += delta * delta / expected;
+    }
+  }
+  const double denom = static_cast<double>(n) *
+                       static_cast<double>(std::min(levels_x, levels_y) - 1);
+  if (denom <= 0.0) return 0.0;
+  return std::sqrt(chi2 / denom);
+}
+
+double CorrelationRatio(const std::vector<double>& categories,
+                        const std::vector<double>& numeric_values,
+                        size_t max_levels) {
+  DQUAG_CHECK_EQ(categories.size(), numeric_values.size());
+  const size_t n = categories.size();
+  if (n < 2) return 0.0;
+  size_t levels = 0;
+  const std::vector<size_t> dense = Densify(categories, max_levels, levels);
+  if (levels < 2) return 0.0;
+
+  std::vector<double> group_sum(levels, 0.0);
+  std::vector<double> group_count(levels, 0.0);
+  double total_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    group_sum[dense[i]] += numeric_values[i];
+    group_count[dense[i]] += 1.0;
+    total_sum += numeric_values[i];
+  }
+  const double grand_mean = total_sum / static_cast<double>(n);
+  double between = 0.0;
+  for (size_t g = 0; g < levels; ++g) {
+    if (group_count[g] <= 0.0) continue;
+    const double group_mean = group_sum[g] / group_count[g];
+    between += group_count[g] * (group_mean - grand_mean) *
+               (group_mean - grand_mean);
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += (numeric_values[i] - grand_mean) *
+             (numeric_values[i] - grand_mean);
+  }
+  if (total <= 0.0) return 0.0;
+  return std::sqrt(between / total);
+}
+
+std::vector<FeatureRelationship> MineRelationships(
+    const std::vector<MinerColumn>& columns,
+    const RelationshipMinerOptions& options) {
+  std::vector<FeatureRelationship> relationships;
+  if (columns.empty()) return relationships;
+  const size_t full_rows = columns[0].values.size();
+  for (const MinerColumn& c : columns) {
+    DQUAG_CHECK_EQ(c.values.size(), full_rows);
+  }
+  // Head sample keeps the computation O(pairs * sample).
+  const size_t rows = std::min(full_rows, options.max_sample_rows);
+
+  auto head = [rows](const std::vector<double>& v) {
+    return std::vector<double>(v.begin(),
+                               v.begin() + static_cast<ptrdiff_t>(rows));
+  };
+
+  for (size_t i = 0; i < columns.size(); ++i) {
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      const MinerColumn& a = columns[i];
+      const MinerColumn& b = columns[j];
+      double score = 0.0;
+      double threshold = 0.0;
+      std::string kind;
+      if (!a.is_categorical && !b.is_categorical) {
+        score = std::abs(PearsonCorrelation(head(a.values), head(b.values)));
+        threshold = options.numeric_threshold;
+        kind = "numeric";
+      } else if (a.is_categorical && b.is_categorical) {
+        score = CramersV(head(a.values), head(b.values), options.max_levels);
+        threshold = options.categorical_threshold;
+        kind = "categorical";
+      } else {
+        const MinerColumn& cat = a.is_categorical ? a : b;
+        const MinerColumn& num = a.is_categorical ? b : a;
+        score = CorrelationRatio(head(cat.values), head(num.values),
+                                 options.max_levels);
+        threshold = options.mixed_threshold;
+        kind = "mixed";
+      }
+      if (score >= threshold) {
+        relationships.push_back({a.name, b.name, score, kind});
+      }
+    }
+  }
+  // Degree cap: keep the strongest relationships per node.
+  if (options.max_degree > 0) {
+    std::sort(relationships.begin(), relationships.end(),
+              [](const FeatureRelationship& x, const FeatureRelationship& y) {
+                return x.score > y.score;
+              });
+    std::map<std::string, size_t> degree;
+    std::vector<FeatureRelationship> kept;
+    for (const FeatureRelationship& rel : relationships) {
+      if (degree[rel.feature1] >= options.max_degree ||
+          degree[rel.feature2] >= options.max_degree) {
+        continue;
+      }
+      ++degree[rel.feature1];
+      ++degree[rel.feature2];
+      kept.push_back(rel);
+    }
+    relationships = std::move(kept);
+  }
+  return relationships;
+}
+
+}  // namespace dquag

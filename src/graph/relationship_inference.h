@@ -1,0 +1,69 @@
+// Statistical feature-relationship mining.
+//
+// The paper delegates feature-graph construction to ChatGPT-4 (§3.1.1): the
+// LLM receives feature names, descriptions, and 100 sample rows and returns
+// related feature pairs as JSON. In this offline reproduction the same role
+// is played by association mining over a sample of the clean data:
+//   numeric  x numeric      -> |Pearson r|
+//   category x category     -> Cramér's V
+//   numeric  x category     -> correlation ratio (eta)
+// Pairs whose association exceeds a per-kind threshold become edges. The
+// JSON adapter (relationship_json.h) reads/writes the paper's exchange
+// format so real LLM output can be substituted transparently.
+
+#ifndef DQUAG_GRAPH_RELATIONSHIP_INFERENCE_H_
+#define DQUAG_GRAPH_RELATIONSHIP_INFERENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/feature_graph.h"
+
+namespace dquag {
+
+/// One column presented to the miner: raw numeric values (for categoricals,
+/// integer codes) and its kind.
+struct MinerColumn {
+  std::string name;
+  std::vector<double> values;
+  bool is_categorical = false;
+};
+
+struct RelationshipMinerOptions {
+  /// Minimum |Pearson r| for a numeric-numeric edge.
+  double numeric_threshold = 0.30;
+  /// Minimum Cramér's V for a categorical-categorical edge.
+  double categorical_threshold = 0.20;
+  /// Minimum correlation ratio for a mixed edge.
+  double mixed_threshold = 0.25;
+  /// Rows sampled for the computation (mirrors the paper's 100-sample
+  /// prompt, but a larger sample stabilizes the statistics).
+  size_t max_sample_rows = 2000;
+  /// Cap on distinct categorical levels considered (rare levels pooled).
+  size_t max_levels = 64;
+  /// Maximum edges per feature node: relationships are kept strongest-first
+  /// until both endpoints are saturated. Statistical mining on highly
+  /// correlated tables (e.g. NY Taxi fares) would otherwise produce a
+  /// near-complete graph, unlike the sparse semantic graphs an LLM emits —
+  /// and message-passing cost is linear in the edge count.
+  size_t max_degree = 6;
+};
+
+/// Pairwise association statistics (exposed for tests / diagnostics).
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+double CramersV(const std::vector<double>& x_codes,
+                const std::vector<double>& y_codes, size_t max_levels = 64);
+double CorrelationRatio(const std::vector<double>& categories,
+                        const std::vector<double>& numeric_values,
+                        size_t max_levels = 64);
+
+/// Mines relationships between all column pairs. Columns must share length.
+std::vector<FeatureRelationship> MineRelationships(
+    const std::vector<MinerColumn>& columns,
+    const RelationshipMinerOptions& options = {});
+
+}  // namespace dquag
+
+#endif  // DQUAG_GRAPH_RELATIONSHIP_INFERENCE_H_

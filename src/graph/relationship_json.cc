@@ -1,0 +1,78 @@
+#include "graph/relationship_json.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace dquag {
+
+std::string RelationshipsToJson(
+    const std::vector<FeatureRelationship>& relationships,
+    bool include_scores) {
+  JsonValue root = JsonValue::Object();
+  JsonValue list = JsonValue::Array();
+  for (const FeatureRelationship& rel : relationships) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("feature1", JsonValue::String(rel.feature1));
+    entry.Set("feature2", JsonValue::String(rel.feature2));
+    if (include_scores) {
+      entry.Set("score", JsonValue::Number(rel.score));
+      entry.Set("kind", JsonValue::String(rel.kind));
+    }
+    list.Append(std::move(entry));
+  }
+  root.Set("relationships", std::move(list));
+  return root.Dump(/*indent=*/2);
+}
+
+StatusOr<std::vector<FeatureRelationship>> RelationshipsFromJson(
+    const std::string& json_text) {
+  auto parsed = JsonValue::Parse(json_text);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = parsed.value();
+  if (!root.is_object() || !root.Contains("relationships")) {
+    return Status::InvalidArgument(
+        "expected top-level object with 'relationships' array");
+  }
+  const JsonValue& list = root.at("relationships");
+  if (!list.is_array()) {
+    return Status::InvalidArgument("'relationships' must be an array");
+  }
+  std::vector<FeatureRelationship> relationships;
+  for (size_t i = 0; i < list.size(); ++i) {
+    const JsonValue& entry = list.at(i);
+    if (!entry.is_object() || !entry.Contains("feature1") ||
+        !entry.Contains("feature2")) {
+      return Status::InvalidArgument(
+          "relationship entries need feature1 and feature2");
+    }
+    FeatureRelationship rel;
+    rel.feature1 = entry.at("feature1").AsString();
+    rel.feature2 = entry.at("feature2").AsString();
+    if (entry.Contains("score")) rel.score = entry.at("score").AsNumber();
+    if (entry.Contains("kind")) rel.kind = entry.at("kind").AsString();
+    relationships.push_back(std::move(rel));
+  }
+  return relationships;
+}
+
+Status SaveRelationships(const std::vector<FeatureRelationship>& relationships,
+                         const std::string& path, bool include_scores) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << RelationshipsToJson(relationships, include_scores);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<FeatureRelationship>> LoadRelationships(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return RelationshipsFromJson(buffer.str());
+}
+
+}  // namespace dquag

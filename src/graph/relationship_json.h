@@ -1,0 +1,37 @@
+// JSON exchange format for feature relationships.
+//
+// Matches the paper's ChatGPT-4 output contract (§3.1.1):
+//   {"relationships": [{"feature1": "Age", "feature2": "Income"}, ...]}
+// so externally produced (e.g. LLM) relationship files plug directly into
+// FeatureGraph::FromRelationships.
+
+#ifndef DQUAG_GRAPH_RELATIONSHIP_JSON_H_
+#define DQUAG_GRAPH_RELATIONSHIP_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/feature_graph.h"
+#include "util/status.h"
+
+namespace dquag {
+
+/// Serializes relationships to the paper's JSON format. `include_scores`
+/// additionally writes the mined association score and kind.
+std::string RelationshipsToJson(
+    const std::vector<FeatureRelationship>& relationships,
+    bool include_scores = false);
+
+/// Parses the paper's JSON format (score/kind fields optional).
+StatusOr<std::vector<FeatureRelationship>> RelationshipsFromJson(
+    const std::string& json_text);
+
+/// File-level convenience wrappers.
+Status SaveRelationships(const std::vector<FeatureRelationship>& relationships,
+                         const std::string& path, bool include_scores = false);
+StatusOr<std::vector<FeatureRelationship>> LoadRelationships(
+    const std::string& path);
+
+}  // namespace dquag
+
+#endif  // DQUAG_GRAPH_RELATIONSHIP_JSON_H_

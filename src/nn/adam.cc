@@ -1,0 +1,48 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace dquag {
+
+Adam::Adam(std::vector<VarPtr> parameters, AdamOptions options)
+    : parameters_(std::move(parameters)), options_(options) {
+  first_moment_.reserve(parameters_.size());
+  second_moment_.reserve(parameters_.size());
+  for (const VarPtr& p : parameters_) {
+    first_moment_.push_back(Tensor::Zeros(p->value().shape()));
+    second_moment_.push_back(Tensor::Zeros(p->value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(step_count_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Variable& p = *parameters_[i];
+    if (!p.has_grad()) continue;
+    float* w = p.mutable_value().data();
+    const float* g = p.grad().data();
+    float* m = first_moment_[i].data();
+    float* v = second_moment_[i].data();
+    const int64_t n = p.value().numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float gj = g[j];
+      if (options_.weight_decay > 0.0f) gj += options_.weight_decay * w[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * gj;
+      v[j] = b2 * v[j] + (1.0f - b2) * gj * gj;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      w[j] -= options_.learning_rate * m_hat /
+              (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (const VarPtr& p : parameters_) p->ZeroGrad();
+}
+
+}  // namespace dquag

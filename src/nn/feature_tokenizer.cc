@@ -1,0 +1,26 @@
+#include "nn/feature_tokenizer.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace dquag {
+
+FeatureTokenizer::FeatureTokenizer(int64_t num_features, int64_t embedding_dim,
+                                   Rng& rng)
+    : num_features_(num_features), embedding_dim_(embedding_dim) {
+  scale_ = RegisterParameter("scale",
+                             XavierUniform(num_features, embedding_dim, rng));
+  shift_ = RegisterParameter("shift",
+                             Tensor::Zeros({num_features, embedding_dim}));
+}
+
+VarPtr FeatureTokenizer::Forward(const VarPtr& x) const {
+  DQUAG_CHECK_EQ(x->value().ndim(), 2);
+  DQUAG_CHECK_EQ(x->value().dim(1), num_features_);
+  const int64_t batch = x->value().dim(0);
+  // [B, d] -> [B, d, 1]; broadcasting against [d, h] yields [B, d, h].
+  VarPtr x3 = ag::Reshape(x, {batch, num_features_, 1});
+  return ag::Add(ag::Mul(x3, scale_), shift_);
+}
+
+}  // namespace dquag

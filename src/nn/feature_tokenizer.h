@@ -1,0 +1,37 @@
+// Per-feature value embedding ("feature tokenizer").
+//
+// Turns a batch of preprocessed rows X in [B, d] (one scalar per feature)
+// into node features H0 in [B, d, h] via a learnable per-feature affine map
+//   H0[b, f, :] = X[b, f] * U[f, :] + C[f, :].
+// This is the standard tokenizer for tabular deep models: each column gets
+// its own embedding direction, so columns are not mixed before message
+// passing.
+
+#ifndef DQUAG_NN_FEATURE_TOKENIZER_H_
+#define DQUAG_NN_FEATURE_TOKENIZER_H_
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace dquag {
+
+class FeatureTokenizer : public Module {
+ public:
+  FeatureTokenizer(int64_t num_features, int64_t embedding_dim, Rng& rng);
+
+  /// x: [B, d] -> [B, d, h].
+  VarPtr Forward(const VarPtr& x) const;
+
+  int64_t num_features() const { return num_features_; }
+  int64_t embedding_dim() const { return embedding_dim_; }
+
+ private:
+  int64_t num_features_;
+  int64_t embedding_dim_;
+  VarPtr scale_;  // U: [d, h]
+  VarPtr shift_;  // C: [d, h]
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_NN_FEATURE_TOKENIZER_H_

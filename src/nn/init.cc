@@ -1,0 +1,18 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace dquag {
+
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandUniform({fan_in, fan_out}, rng, -limit, limit);
+}
+
+Tensor HeNormal(int64_t fan_in, int64_t fan_out, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::Randn({fan_in, fan_out}, rng, stddev);
+}
+
+}  // namespace dquag

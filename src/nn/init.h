@@ -1,0 +1,19 @@
+// Weight initialization schemes.
+
+#ifndef DQUAG_NN_INIT_H_
+#define DQUAG_NN_INIT_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dquag {
+
+/// Glorot/Xavier uniform: U[-L, L] with L = sqrt(6 / (fan_in + fan_out)).
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng);
+
+/// Kaiming/He normal: N(0, sqrt(2 / fan_in)).
+Tensor HeNormal(int64_t fan_in, int64_t fan_out, Rng& rng);
+
+}  // namespace dquag
+
+#endif  // DQUAG_NN_INIT_H_

@@ -1,0 +1,47 @@
+#include "nn/linear.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace dquag {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
+               bool with_bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter("weight",
+                              XavierUniform(in_features, out_features, rng));
+  if (with_bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+VarPtr Linear::Forward(const VarPtr& x) const {
+  DQUAG_CHECK_EQ(x->value().dim(-1), in_features_);
+  VarPtr y = ag::MatMul(x, weight_);
+  if (bias_) y = ag::Add(y, bias_);
+  return y;
+}
+
+Mlp::Mlp(const std::vector<int64_t>& layer_sizes, Activation activation,
+         Rng& rng, bool activate_last)
+    : activation_(activation), activate_last_(activate_last) {
+  DQUAG_CHECK_GE(layer_sizes.size(), 2u);
+  for (size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    layers_.push_back(
+        std::make_unique<Linear>(layer_sizes[i], layer_sizes[i + 1], rng));
+    RegisterModule(layers_.back().get());
+  }
+}
+
+VarPtr Mlp::Forward(const VarPtr& x) const {
+  VarPtr h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size() || activate_last_) {
+      h = ApplyActivation(h, activation_);
+    }
+  }
+  return h;
+}
+
+}  // namespace dquag

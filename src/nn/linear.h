@@ -1,0 +1,49 @@
+// Fully connected layers and small MLPs.
+
+#ifndef DQUAG_NN_LINEAR_H_
+#define DQUAG_NN_LINEAR_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace dquag {
+
+/// y = x W + b, applied to the last axis. Accepts [*, in] inputs of rank 2
+/// or 3 (the 3-D case shares the weight across the batch axis).
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool with_bias = true);
+
+  VarPtr Forward(const VarPtr& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  VarPtr weight_;  // [in, out]
+  VarPtr bias_;    // [out] or null
+};
+
+/// Stack of Linear layers with a shared activation between them (none after
+/// the last layer unless `activate_last`).
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<int64_t>& layer_sizes, Activation activation,
+      Rng& rng, bool activate_last = false);
+
+  VarPtr Forward(const VarPtr& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation activation_;
+  bool activate_last_;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_NN_LINEAR_H_

@@ -1,0 +1,81 @@
+#include "nn/losses.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace dquag {
+
+namespace {
+
+/// Flattens [B, d, 1] to [B, d]; passes [B, d] through.
+VarPtr AsMatrix(const VarPtr& x) {
+  if (x->value().ndim() == 3) {
+    DQUAG_CHECK_EQ(x->value().dim(2), 1);
+    return ag::Reshape(x, {x->value().dim(0), x->value().dim(1)});
+  }
+  DQUAG_CHECK_EQ(x->value().ndim(), 2);
+  return x;
+}
+
+Tensor AsMatrixTensor(const Tensor& x) {
+  if (x.ndim() == 3) {
+    DQUAG_CHECK_EQ(x.dim(2), 1);
+    return x.Reshape({x.dim(0), x.dim(1)});
+  }
+  DQUAG_CHECK_EQ(x.ndim(), 2);
+  return x;
+}
+
+}  // namespace
+
+VarPtr MseLoss(const VarPtr& pred, const VarPtr& target) {
+  VarPtr diff = ag::Sub(pred, target);
+  return ag::MeanAll(ag::Square(diff));
+}
+
+VarPtr WeightedMseLoss(const VarPtr& pred, const VarPtr& target,
+                       const Tensor& weights) {
+  VarPtr p = AsMatrix(pred);
+  VarPtr t = AsMatrix(target);
+  const int64_t batch = p->value().dim(0);
+  DQUAG_CHECK_EQ(weights.numel(), batch);
+  VarPtr sq = ag::Square(ag::Sub(p, t));
+  VarPtr per_sample = ag::Mean(sq, /*axis=*/1);           // [B]
+  VarPtr w = MakeVar(weights.Reshape({batch}));           // detached
+  return ag::MeanAll(ag::Mul(per_sample, w));
+}
+
+Tensor PerSampleErrors(const Tensor& pred, const Tensor& target) {
+  Tensor p = AsMatrixTensor(pred);
+  Tensor t = AsMatrixTensor(target);
+  DQUAG_CHECK(p.shape() == t.shape());
+  Tensor sq = Square(Sub(p, t));
+  return Mean(sq, /*axis=*/1);
+}
+
+Tensor PerFeatureErrors(const Tensor& pred, const Tensor& target) {
+  Tensor p = AsMatrixTensor(pred);
+  Tensor t = AsMatrixTensor(target);
+  DQUAG_CHECK(p.shape() == t.shape());
+  return Square(Sub(p, t));
+}
+
+Tensor ErrorsToWeights(const Tensor& per_sample_errors) {
+  const int64_t batch = per_sample_errors.numel();
+  DQUAG_CHECK_GT(batch, 0);
+  const float tau = MeanAll(per_sample_errors) + 1e-8f;
+  Tensor weights({batch});
+  double total = 0.0;
+  for (int64_t i = 0; i < batch; ++i) {
+    weights[i] = std::exp(-per_sample_errors[i] / tau);
+    total += weights[i];
+  }
+  DQUAG_CHECK_GT(total, 0.0);
+  const float scale = static_cast<float>(batch) / static_cast<float>(total);
+  for (int64_t i = 0; i < batch; ++i) weights[i] *= scale;
+  return weights;
+}
+
+}  // namespace dquag

@@ -1,0 +1,35 @@
+// Reconstruction losses used by the dual decoders (§3.1.2).
+
+#ifndef DQUAG_NN_LOSSES_H_
+#define DQUAG_NN_LOSSES_H_
+
+#include "autograd/variable.h"
+
+namespace dquag {
+
+/// Plain mean-squared-error over all elements:
+/// L = mean((pred - target)^2). Used by the repair decoder.
+VarPtr MseLoss(const VarPtr& pred, const VarPtr& target);
+
+/// Sample-weighted MSE over [B, d] (or [B, d, 1]) reconstructions:
+/// L = (1/B) * sum_i w_i * ||pred_i - target_i||^2 / d.
+/// `weights` is a detached [B] tensor. Used by the validation decoder, which
+/// up-weights samples that already reconstruct well (paper §3.1.2).
+VarPtr WeightedMseLoss(const VarPtr& pred, const VarPtr& target,
+                       const Tensor& weights);
+
+/// Per-sample reconstruction errors (mean squared error per row): [B].
+/// Pure tensor computation, no tape.
+Tensor PerSampleErrors(const Tensor& pred, const Tensor& target);
+
+/// Per-sample-per-feature squared errors: [B, d].
+Tensor PerFeatureErrors(const Tensor& pred, const Tensor& target);
+
+/// Turns per-sample errors into validation-loss weights:
+/// w_i = B * exp(-e_i / tau) / sum_j exp(-e_j / tau), tau = mean(e) + eps.
+/// Smaller error => larger weight; weights average to 1.
+Tensor ErrorsToWeights(const Tensor& per_sample_errors);
+
+}  // namespace dquag
+
+#endif  // DQUAG_NN_LOSSES_H_

@@ -1,0 +1,61 @@
+#include "nn/module.h"
+
+#include "autograd/ops.h"
+
+namespace dquag {
+
+VarPtr ApplyActivation(const VarPtr& x, Activation act) {
+  switch (act) {
+    case Activation::kIdentity: return x;
+    case Activation::kRelu: return ag::Relu(x);
+    case Activation::kLeakyRelu: return ag::LeakyRelu(x);
+    case Activation::kElu: return ag::Elu(x);
+    case Activation::kSigmoid: return ag::Sigmoid(x);
+    case Activation::kTanh: return ag::Tanh(x);
+  }
+  DQUAG_CHECK(false);
+  return x;
+}
+
+std::vector<VarPtr> Module::Parameters() const {
+  std::vector<VarPtr> out;
+  for (const auto& [name, param] : parameters_) out.push_back(param);
+  for (const Module* child : children_) {
+    std::vector<VarPtr> nested = child->Parameters();
+    out.insert(out.end(), nested.begin(), nested.end());
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (const VarPtr& p : Parameters()) p->ZeroGrad();
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const VarPtr& p : Parameters()) total += p->value().numel();
+  return total;
+}
+
+void Module::CopyParametersFrom(const Module& other) {
+  std::vector<VarPtr> mine = Parameters();
+  std::vector<VarPtr> theirs = other.Parameters();
+  DQUAG_CHECK_EQ(mine.size(), theirs.size());
+  for (size_t i = 0; i < mine.size(); ++i) {
+    DQUAG_CHECK(mine[i]->value().shape() == theirs[i]->value().shape());
+    mine[i]->mutable_value() = theirs[i]->value();
+  }
+}
+
+VarPtr Module::RegisterParameter(std::string name, Tensor init) {
+  VarPtr param = MakeVar(std::move(init), /*requires_grad=*/true);
+  parameters_.emplace_back(std::move(name), param);
+  return param;
+}
+
+void Module::RegisterModule(Module* child) {
+  DQUAG_CHECK(child != nullptr);
+  children_.push_back(child);
+}
+
+}  // namespace dquag

@@ -1,0 +1,137 @@
+// Free-function math over Tensor.
+//
+// Everything here is purely functional: inputs are const, results are new
+// tensors. Shapes follow NumPy broadcasting for elementwise binary ops.
+// The gather / scatter / segment-softmax kernels operate along axis 1 of
+// [B, N, H] tensors because model instances are batched as
+// [batch, node, channel]; they are the message-passing primitives of the GNN
+// layers and run in O(B * E * H).
+
+#ifndef DQUAG_TENSOR_TENSOR_OPS_H_
+#define DQUAG_TENSOR_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dquag {
+
+// ---- Broadcasting ----------------------------------------------------------
+
+/// NumPy broadcast of two shapes; checked failure if incompatible.
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+
+/// Sums `t` down to `target` shape (inverse of broadcasting); used by
+/// autograd to reduce gradients of broadcast operands.
+Tensor ReduceToShape(const Tensor& t, const Shape& target);
+
+// ---- Elementwise binary (broadcasting) -------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor Maximum(const Tensor& a, const Tensor& b);
+Tensor Minimum(const Tensor& a, const Tensor& b);
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+// ---- Elementwise unary -----------------------------------------------------
+
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Clamp(const Tensor& a, float lo, float hi);
+
+Tensor Relu(const Tensor& a);
+Tensor LeakyRelu(const Tensor& a, float negative_slope = 0.2f);
+Tensor Elu(const Tensor& a, float alpha = 1.0f);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+
+/// Applies an arbitrary scalar function (testing / prototyping helper).
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn);
+
+// ---- Matrix multiplication -------------------------------------------------
+
+/// MatMul supports:
+///   [m,k] x [k,n]    -> [m,n]
+///   [B,m,k] x [k,n]  -> [B,m,n]   (shared right operand)
+///   [B,m,k] x [B,k,n]-> [B,m,n]   (batched both sides)
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Swaps the last two axes of a 2-D or 3-D tensor.
+Tensor TransposeLast2(const Tensor& a);
+
+/// A^T * B without materializing the transpose: a is [m, k] (or [B, m, k],
+/// flattened over the leading axes), b is [m, n] (same leading shape);
+/// result [k, n]. This is the dW of a shared-weight matmul.
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+
+/// A * B^T without materializing the transpose: a is [..., m, n], b is
+/// [k, n]; result [..., m, k]. This is the dX of y = x W.
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+// ---- Reductions ------------------------------------------------------------
+
+float SumAll(const Tensor& a);
+float MeanAll(const Tensor& a);
+float MaxAll(const Tensor& a);
+float MinAll(const Tensor& a);
+
+/// Sum over one axis. keepdims retains the reduced axis with size 1.
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdims = false);
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdims = false);
+Tensor Max(const Tensor& a, int64_t axis, bool keepdims = false);
+
+/// Softmax along `axis`.
+Tensor Softmax(const Tensor& a, int64_t axis);
+
+// ---- Structural ops --------------------------------------------------------
+
+/// Concatenates tensors along `axis`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
+
+/// Slice [start, end) along `axis`.
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t end);
+
+/// Inserts a size-1 axis at `axis`.
+Tensor Unsqueeze(const Tensor& a, int64_t axis);
+
+/// Removes a size-1 axis at `axis`.
+Tensor Squeeze(const Tensor& a, int64_t axis);
+
+// ---- Graph kernels (axis-1 of [B, N, H]) -----------------------------------
+
+/// out[b, e, :] = t[b, indices[e], :].  t is [B, N, H], result [B, E, H].
+/// Also accepts 2-D [N, H] -> [E, H].
+Tensor GatherAxis1(const Tensor& t, const std::vector<int32_t>& indices);
+
+/// out[b, indices[e], :] += src[b, e, :].  src is [B, E, H], result
+/// [B, num_rows, H]. Also accepts 2-D [E, H] -> [num_rows, H].
+Tensor ScatterAddAxis1(const Tensor& src, const std::vector<int32_t>& indices,
+                       int64_t num_rows);
+
+/// Per-batch softmax over groups of entries that share a segment id:
+/// out[b, e] = exp(s[b,e] - max_seg) / sum_{e': seg[e']=seg[e]} exp(...).
+/// scores is [B, E] (or [E]); segments has length E with values in
+/// [0, num_segments). Empty segments are fine.
+Tensor SegmentSoftmaxAxis1(const Tensor& scores,
+                           const std::vector<int32_t>& segments,
+                           int64_t num_segments);
+
+/// Per-batch segment sum: out[b, seg[e]] += values[b, e]; result
+/// [B, num_segments] (or [num_segments] for 1-D input).
+Tensor SegmentSumAxis1(const Tensor& values,
+                       const std::vector<int32_t>& segments,
+                       int64_t num_segments);
+
+}  // namespace dquag
+
+#endif  // DQUAG_TENSOR_TENSOR_OPS_H_

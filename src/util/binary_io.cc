@@ -1,0 +1,114 @@
+#include "util/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace dquag {
+
+void BinaryWriter::Append(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+void BinaryWriter::WriteI64(int64_t value) { Append(&value, sizeof(value)); }
+void BinaryWriter::WriteU64(uint64_t value) { Append(&value, sizeof(value)); }
+void BinaryWriter::WriteDouble(double value) { Append(&value, sizeof(value)); }
+void BinaryWriter::WriteFloat(float value) { Append(&value, sizeof(value)); }
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteU64(value.size());
+  Append(value.data(), value.size());
+}
+
+void BinaryWriter::WriteFloatArray(const float* data, size_t count) {
+  WriteU64(count);
+  Append(data, count * sizeof(float));
+}
+
+void BinaryWriter::WriteDoubleVector(const std::vector<double>& values) {
+  WriteU64(values.size());
+  Append(values.data(), values.size() * sizeof(double));
+}
+
+Status BinaryWriter::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+StatusOr<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return BinaryReader(buffer.str());
+}
+
+Status BinaryReader::Take(void* out, size_t size) {
+  if (position_ + size > buffer_.size()) {
+    return Status::OutOfRange("truncated checkpoint: need " +
+                              std::to_string(size) + " bytes, have " +
+                              std::to_string(remaining()));
+  }
+  std::memcpy(out, buffer_.data() + position_, size);
+  position_ += size;
+  return Status::Ok();
+}
+
+StatusOr<int64_t> BinaryReader::ReadI64() {
+  int64_t value = 0;
+  DQUAG_RETURN_IF_ERROR(Take(&value, sizeof(value)));
+  return value;
+}
+
+StatusOr<uint64_t> BinaryReader::ReadU64() {
+  uint64_t value = 0;
+  DQUAG_RETURN_IF_ERROR(Take(&value, sizeof(value)));
+  return value;
+}
+
+StatusOr<double> BinaryReader::ReadDouble() {
+  double value = 0;
+  DQUAG_RETURN_IF_ERROR(Take(&value, sizeof(value)));
+  return value;
+}
+
+StatusOr<float> BinaryReader::ReadFloat() {
+  float value = 0;
+  DQUAG_RETURN_IF_ERROR(Take(&value, sizeof(value)));
+  return value;
+}
+
+StatusOr<std::string> BinaryReader::ReadString() {
+  auto size = ReadU64();
+  if (!size.ok()) return size.status();
+  std::string value(*size, '\0');
+  DQUAG_RETURN_IF_ERROR(Take(value.data(), *size));
+  return value;
+}
+
+Status BinaryReader::ReadFloatArray(float* out, size_t count) {
+  auto size = ReadU64();
+  if (!size.ok()) return size.status();
+  if (*size != count) {
+    return Status::InvalidArgument("float array size mismatch: stored " +
+                                   std::to_string(*size) + ", expected " +
+                                   std::to_string(count));
+  }
+  return Take(out, count * sizeof(float));
+}
+
+StatusOr<std::vector<double>> BinaryReader::ReadDoubleVector() {
+  auto size = ReadU64();
+  if (!size.ok()) return size.status();
+  if (*size > remaining() / sizeof(double)) {
+    return Status::OutOfRange("double vector larger than buffer");
+  }
+  std::vector<double> values(*size);
+  DQUAG_RETURN_IF_ERROR(Take(values.data(), *size * sizeof(double)));
+  return values;
+}
+
+}  // namespace dquag

@@ -1,0 +1,67 @@
+// Little-endian binary (de)serialization for model checkpoints.
+//
+// The format is length-prefixed and tagged by the caller; these classes
+// only provide primitive encode/decode with bounds checking. Used by
+// core/pipeline Save/Load.
+
+#ifndef DQUAG_UTIL_BINARY_IO_H_
+#define DQUAG_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dquag {
+
+/// Appends primitives to an in-memory buffer.
+class BinaryWriter {
+ public:
+  void WriteI64(int64_t value);
+  void WriteU64(uint64_t value);
+  void WriteDouble(double value);
+  void WriteFloat(float value);
+  void WriteString(const std::string& value);
+  void WriteFloatArray(const float* data, size_t count);
+  void WriteDoubleVector(const std::vector<double>& values);
+
+  const std::string& buffer() const { return buffer_; }
+
+  /// Writes the buffer to a file.
+  Status SaveToFile(const std::string& path) const;
+
+ private:
+  void Append(const void* data, size_t size);
+
+  std::string buffer_;
+};
+
+/// Reads primitives back; every method fails cleanly on truncation.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string buffer) : buffer_(std::move(buffer)) {}
+
+  static StatusOr<BinaryReader> FromFile(const std::string& path);
+
+  StatusOr<int64_t> ReadI64();
+  StatusOr<uint64_t> ReadU64();
+  StatusOr<double> ReadDouble();
+  StatusOr<float> ReadFloat();
+  StatusOr<std::string> ReadString();
+  Status ReadFloatArray(float* out, size_t count);
+  StatusOr<std::vector<double>> ReadDoubleVector();
+
+  bool AtEnd() const { return position_ == buffer_.size(); }
+  size_t remaining() const { return buffer_.size() - position_; }
+
+ private:
+  Status Take(void* out, size_t size);
+
+  std::string buffer_;
+  size_t position_ = 0;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_UTIL_BINARY_IO_H_

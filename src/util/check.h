@@ -1,0 +1,39 @@
+// Invariant-checking macros.
+//
+// DQUAG_CHECK* abort the process with a diagnostic on violation. They guard
+// programmer errors (out-of-range indexing, shape mismatches); recoverable
+// conditions use Status / StatusOr instead (see util/status.h).
+
+#ifndef DQUAG_UTIL_CHECK_H_
+#define DQUAG_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dquag {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "DQUAG_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace dquag
+
+#define DQUAG_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::dquag::internal_check::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                  \
+  } while (0)
+
+#define DQUAG_CHECK_EQ(a, b) DQUAG_CHECK((a) == (b))
+#define DQUAG_CHECK_NE(a, b) DQUAG_CHECK((a) != (b))
+#define DQUAG_CHECK_LT(a, b) DQUAG_CHECK((a) < (b))
+#define DQUAG_CHECK_LE(a, b) DQUAG_CHECK((a) <= (b))
+#define DQUAG_CHECK_GT(a, b) DQUAG_CHECK((a) > (b))
+#define DQUAG_CHECK_GE(a, b) DQUAG_CHECK((a) >= (b))
+
+#endif  // DQUAG_UTIL_CHECK_H_

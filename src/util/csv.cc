@@ -1,0 +1,150 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dquag {
+
+namespace {
+
+/// Splits CSV text into rows of fields, honoring quotes.
+StatusOr<std::vector<std::vector<std::string>>> Tokenize(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field.empty() && !field_started) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          field.push_back(c);
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // swallow CR of CRLF
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+bool NeedsQuoting(const std::string& field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(std::string& out, const std::string& field) {
+  if (!NeedsQuoting(field)) {
+    out += field;
+    return;
+  }
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+StatusOr<CsvDocument> ParseCsv(const std::string& text) {
+  auto rows_or = Tokenize(text);
+  if (!rows_or.ok()) return rows_or.status();
+  auto rows = std::move(rows_or).value();
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty CSV document");
+  }
+  CsvDocument doc;
+  doc.header = std::move(rows.front());
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() != doc.header.size()) {
+      return Status::InvalidArgument(
+          "CSV row " + std::to_string(i) + " has " +
+          std::to_string(rows[i].size()) + " fields, expected " +
+          std::to_string(doc.header.size()));
+    }
+    doc.rows.push_back(std::move(rows[i]));
+  }
+  return doc;
+}
+
+StatusOr<CsvDocument> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+std::string WriteCsvString(const CsvDocument& doc) {
+  std::string out;
+  for (size_t i = 0; i < doc.header.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendField(out, doc.header[i]);
+  }
+  out.push_back('\n');
+  for (const auto& row : doc.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendField(out, row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const CsvDocument& doc, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << WriteCsvString(doc);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace dquag

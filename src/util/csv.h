@@ -1,0 +1,37 @@
+// CSV reading and writing with RFC-4180-style quoting.
+//
+// Tables move in and out of the library as CSV so example programs can
+// exchange data with external tools (and so repaired datasets can be saved).
+
+#ifndef DQUAG_UTIL_CSV_H_
+#define DQUAG_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dquag {
+
+/// In-memory CSV document: a header row plus data rows of equal width.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. Handles quoted fields, embedded commas/newlines, and
+/// doubled-quote escapes. Every row must match the header width.
+StatusOr<CsvDocument> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+StatusOr<CsvDocument> ReadCsvFile(const std::string& path);
+
+/// Serializes a document, quoting fields that need it.
+std::string WriteCsvString(const CsvDocument& doc);
+
+/// Writes a document to a file.
+Status WriteCsvFile(const CsvDocument& doc, const std::string& path);
+
+}  // namespace dquag
+
+#endif  // DQUAG_UTIL_CSV_H_

@@ -1,0 +1,418 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dquag {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double n) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+bool JsonValue::AsBool() const {
+  DQUAG_CHECK(is_bool());
+  return bool_;
+}
+
+double JsonValue::AsNumber() const {
+  DQUAG_CHECK(is_number());
+  return number_;
+}
+
+const std::string& JsonValue::AsString() const {
+  DQUAG_CHECK(is_string());
+  return string_;
+}
+
+size_t JsonValue::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::at(size_t index) const {
+  DQUAG_CHECK(is_array());
+  DQUAG_CHECK_LT(index, array_.size());
+  return array_[index];
+}
+
+void JsonValue::Append(JsonValue value) {
+  DQUAG_CHECK(is_array());
+  array_.push_back(std::move(value));
+}
+
+bool JsonValue::Contains(const std::string& key) const {
+  if (!is_object()) return false;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  DQUAG_CHECK(is_object());
+  for (const auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  DQUAG_CHECK(false);  // key not found
+  return *this;        // unreachable
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  DQUAG_CHECK(is_object());
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::items()
+    const {
+  DQUAG_CHECK(is_object());
+  return object_;
+}
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendNumber(std::string& out, double n) {
+  if (n == std::floor(n) && std::abs(n) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(n));
+    out += buffer;
+  } else {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.12g", n);
+    out += buffer;
+  }
+}
+
+void AppendIndent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out.push_back('\n');
+  out.append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: AppendNumber(out, number_); break;
+    case Type::kString: AppendEscaped(out, string_); break;
+    case Type::kArray: {
+      out.push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        AppendIndent(out, indent, depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!array_.empty()) AppendIndent(out, indent, depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        AppendIndent(out, indent, depth + 1);
+        AppendEscaped(out, object_[i].first);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!object_.empty()) AppendIndent(out, indent, depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string buffer.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue value;
+    Status st = ParseValue(value);
+    if (!st.ok()) return st;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters at offset " +
+                                     std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status ParseValue(JsonValue& out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') return ParseString(out);
+    if (c == 't' || c == 'f') return ParseBool(out);
+    if (c == 'n') return ParseNull(out);
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue& out) {
+    ++pos_;  // consume '{'
+    out = JsonValue::Object();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::Ok();
+    }
+    for (;;) {
+      SkipWhitespace();
+      JsonValue key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Status::InvalidArgument("expected object key at offset " +
+                                       std::to_string(pos_));
+      }
+      DQUAG_RETURN_IF_ERROR(ParseString(key));
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Status::InvalidArgument("expected ':' at offset " +
+                                       std::to_string(pos_));
+      }
+      ++pos_;
+      JsonValue value;
+      DQUAG_RETURN_IF_ERROR(ParseValue(value));
+      out.Set(key.AsString(), std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Status::InvalidArgument("expected ',' or '}' at offset " +
+                                     std::to_string(pos_));
+    }
+  }
+
+  Status ParseArray(JsonValue& out) {
+    ++pos_;  // consume '['
+    out = JsonValue::Array();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::Ok();
+    }
+    for (;;) {
+      JsonValue element;
+      DQUAG_RETURN_IF_ERROR(ParseValue(element));
+      out.Append(std::move(element));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Status::InvalidArgument("expected ',' or ']' at offset " +
+                                     std::to_string(pos_));
+    }
+  }
+
+  Status ParseString(JsonValue& out) {
+    ++pos_;  // consume '"'
+    std::string value;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        out = JsonValue::String(std::move(value));
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': value.push_back('"'); break;
+          case '\\': value.push_back('\\'); break;
+          case '/': value.push_back('/'); break;
+          case 'n': value.push_back('\n'); break;
+          case 't': value.push_back('\t'); break;
+          case 'r': value.push_back('\r'); break;
+          case 'b': value.push_back('\b'); break;
+          case 'f': value.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Status::InvalidArgument("truncated \\u escape");
+            }
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            const long code = std::strtol(hex.c_str(), nullptr, 16);
+            // Basic-multilingual-plane only; encode as UTF-8.
+            if (code < 0x80) {
+              value.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              value.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              value.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              value.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              value.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              value.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Status::InvalidArgument("bad escape character");
+        }
+        continue;
+      }
+      value.push_back(c);
+    }
+    return Status::InvalidArgument("unterminated string");
+  }
+
+  Status ParseBool(JsonValue& out) {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out = JsonValue::Bool(true);
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out = JsonValue::Bool(false);
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("bad literal at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Status ParseNull(JsonValue& out) {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      out = JsonValue::Null();
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("bad literal at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Status ParseNumber(JsonValue& out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool any_digit = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        any_digit = true;
+      }
+      ++pos_;
+    }
+    if (!any_digit) {
+      return Status::InvalidArgument("bad number at offset " +
+                                     std::to_string(start));
+    }
+    out = JsonValue::Number(
+        std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr));
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> JsonValue::Parse(const std::string& text) {
+  JsonParser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace dquag

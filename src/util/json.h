@@ -1,0 +1,77 @@
+// Minimal JSON value model, parser, and serializer.
+//
+// Supports the subset of JSON needed by the feature-relationship exchange
+// format (§3.1.1 of the paper): objects, arrays, strings, numbers, booleans,
+// and null. The parser is recursive-descent and returns Status errors for
+// malformed input rather than throwing.
+
+#ifndef DQUAG_UTIL_JSON_H_
+#define DQUAG_UTIL_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dquag {
+
+/// A JSON document node. Objects keep insertion order of keys.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double v);
+  static JsonValue String(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; checked failures on type mismatch.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+
+  /// Array access.
+  size_t size() const;
+  const JsonValue& at(size_t index) const;
+  void Append(JsonValue value);
+
+  /// Object access.
+  bool Contains(const std::string& key) const;
+  const JsonValue& at(const std::string& key) const;
+  void Set(const std::string& key, JsonValue value);
+  const std::vector<std::pair<std::string, JsonValue>>& items() const;
+
+  /// Serializes to a compact JSON string; `indent` > 0 pretty-prints.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a JSON document.
+  static StatusOr<JsonValue> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_UTIL_JSON_H_

@@ -1,0 +1,111 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace dquag {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& lane : state_) lane = SplitMix64(s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DQUAG_CHECK_LE(lo, hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t value = Next();
+  while (value >= limit) value = Next();
+  return lo + static_cast<int64_t>(value % range);
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; guard against log(0).
+  double u1 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  DQUAG_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    DQUAG_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  DQUAG_CHECK_GT(total, 0.0);
+  double target = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  DQUAG_CHECK_LE(k, n);
+  // Partial Fisher-Yates over an index array.
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = static_cast<size_t>(
+        UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n - 1)));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace dquag

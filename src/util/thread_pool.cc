@@ -1,0 +1,118 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace dquag {
+
+namespace {
+// Set while a pool worker is running a task, so nested ParallelFor calls
+// degrade to serial execution instead of deadlocking on the shared pool.
+thread_local bool inside_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  inside_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& GlobalThreadPool() {
+  // Function-local static reference; intentionally leaked so worker threads
+  // outlive all static destructors (Google style: no non-trivial globals).
+  static ThreadPool& pool = *new ThreadPool();
+  return pool;
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn, size_t grain) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  ThreadPool& pool = GlobalThreadPool();
+  if (inside_pool_worker || n < grain || pool.num_threads() <= 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const size_t num_chunks =
+      std::min(pool.num_threads() * 4, (n + grain - 1) / grain);
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t lo = begin + c * chunk;
+    const size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.Submit([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  pool.Wait();
+}
+
+void ParallelForChunked(size_t begin, size_t end,
+                        const std::function<void(size_t, size_t)>& fn,
+                        size_t min_chunk) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  ThreadPool& pool = GlobalThreadPool();
+  if (inside_pool_worker || pool.num_threads() <= 1 || n <= min_chunk) {
+    fn(begin, end);
+    return;
+  }
+  const size_t num_chunks = std::min(pool.num_threads(), n / min_chunk + 1);
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t lo = begin + c * chunk;
+    const size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.Submit([lo, hi, &fn] { fn(lo, hi); });
+  }
+  pool.Wait();
+}
+
+}  // namespace dquag

@@ -1,0 +1,67 @@
+// Fixed-size thread pool plus a blocking ParallelFor helper.
+//
+// Used to parallelize batched tensor kernels and Phase-2 validation over
+// instances. The pool is created once per process (GlobalThreadPool) so
+// repeated ParallelFor calls do not pay thread start-up cost.
+
+#ifndef DQUAG_UTIL_THREAD_POOL_H_
+#define DQUAG_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dquag {
+
+/// A minimal fixed-size worker pool.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Process-wide pool shared by all parallel kernels.
+ThreadPool& GlobalThreadPool();
+
+/// Runs fn(i) for i in [begin, end), splitting the range into contiguous
+/// chunks across the global pool. Falls back to serial execution for small
+/// ranges (< grain) or when called from inside a pool worker.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn, size_t grain = 256);
+
+/// Chunked variant: fn(chunk_begin, chunk_end) per worker chunk. Useful when
+/// per-iteration dispatch would dominate.
+void ParallelForChunked(size_t begin, size_t end,
+                        const std::function<void(size_t, size_t)>& fn,
+                        size_t min_chunk = 1);
+
+}  // namespace dquag
+
+#endif  // DQUAG_UTIL_THREAD_POOL_H_

@@ -1,0 +1,227 @@
+// Behavioural tests for the baseline validators: each system must catch the
+// errors its mechanism can see and miss the ones it cannot (Table 1's
+// qualitative pattern is enforced here as unit tests).
+
+#include <gtest/gtest.h>
+
+#include "baselines/adqv.h"
+#include "baselines/column_profile.h"
+#include "baselines/deequ.h"
+#include "baselines/gate.h"
+#include "baselines/tfdv.h"
+#include "data/batch_sampler.h"
+#include "data/error_injector.h"
+#include "data/generators.h"
+
+namespace dquag {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(42);
+    clean_ = datasets::GenerateCreditCard(3000, rng);
+    ErrorInjector injector(1);
+    anomalies_ = injector
+                     .InjectNumericAnomalies(
+                         clean_, {"AMT_INCOME_TOTAL", "DAYS_BIRTH"}, 0.2)
+                     .table;
+    typos_ = injector.InjectTypos(clean_, {"OCCUPATION_TYPE"}, 0.2).table;
+    missing_ =
+        injector.InjectMissing(clean_, {"AMT_INCOME_TOTAL"}, 0.2).table;
+    conflict_ = injector.InjectCreditEmploymentConflict(clean_, 0.2).table;
+  }
+
+  Table clean_;
+  Table anomalies_;
+  Table typos_;
+  Table missing_;
+  Table conflict_;
+};
+
+// ---- Column profiling ----------------------------------------------------------
+
+TEST_F(BaselinesTest, ProfileBasics) {
+  const auto profiles = ProfileTable(clean_);
+  ASSERT_EQ(profiles.size(), static_cast<size_t>(clean_.num_columns()));
+  const int64_t income_idx = clean_.schema().IndexOf("AMT_INCOME_TOTAL");
+  const ColumnProfile& income = profiles[static_cast<size_t>(income_idx)];
+  EXPECT_EQ(income.type, ColumnType::kNumeric);
+  EXPECT_DOUBLE_EQ(income.completeness, 1.0);
+  EXPECT_GT(income.mean, 0.0);
+  EXPECT_LE(income.q01, income.q99);
+  EXPECT_LE(income.min, income.q01);
+  EXPECT_GE(income.max, income.q99);
+
+  const int64_t gender_idx = clean_.schema().IndexOf("CODE_GENDER");
+  const ColumnProfile& gender = profiles[static_cast<size_t>(gender_idx)];
+  EXPECT_EQ(gender.domain.size(), 2u);
+  double total_freq = 0.0;
+  for (const auto& [value, freq] : gender.frequencies) total_freq += freq;
+  EXPECT_NEAR(total_freq, 1.0, 1e-9);
+}
+
+TEST_F(BaselinesTest, DescriptorsHaveStableSize) {
+  const auto d1 = BatchDescriptor(clean_);
+  Rng rng(2);
+  const auto d2 = BatchDescriptor(SampleBatch(clean_, 100, rng));
+  EXPECT_EQ(d1.size(), d2.size());
+  EXPECT_EQ(d1.size(),
+            BatchDescriptorNames(clean_.schema()).size());
+  const auto r1 = RobustBatchDescriptor(clean_);
+  const auto r2 = RobustBatchDescriptor(SampleBatch(clean_, 100, rng));
+  EXPECT_EQ(r1.size(), r2.size());
+}
+
+// ---- Deequ ---------------------------------------------------------------------
+
+TEST_F(BaselinesTest, DeequExpertCatchesOrdinaryErrors) {
+  DeequValidator expert(BaselineMode::kExpert);
+  expert.Fit(clean_);
+  EXPECT_TRUE(expert.IsDirty(anomalies_));
+  EXPECT_TRUE(expert.IsDirty(typos_));
+  EXPECT_TRUE(expert.IsDirty(missing_));
+}
+
+TEST_F(BaselinesTest, DeequExpertPassesCleanBatches) {
+  DeequValidator expert(BaselineMode::kExpert);
+  expert.Fit(clean_);
+  Rng rng(3);
+  int flagged = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (expert.IsDirty(SampleBatch(clean_, 300, rng))) ++flagged;
+  }
+  EXPECT_LE(flagged, 1);
+}
+
+TEST_F(BaselinesTest, DeequExpertBlindToHiddenConflict) {
+  DeequValidator expert(BaselineMode::kExpert);
+  expert.Fit(clean_);
+  EXPECT_FALSE(expert.IsDirty(conflict_));
+}
+
+TEST_F(BaselinesTest, DeequAutoIsTooStrict) {
+  DeequValidator auto_mode(BaselineMode::kAuto);
+  auto_mode.Fit(clean_);
+  Rng rng(4);
+  int flagged = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (auto_mode.IsDirty(SampleBatch(clean_, 300, rng))) ++flagged;
+  }
+  // The pinned-statistics suggestions misfire on most clean batches.
+  EXPECT_GE(flagged, 7);
+}
+
+// ---- TFDV ----------------------------------------------------------------------
+
+TEST_F(BaselinesTest, TfdvAutoMissesNumericAnomalies) {
+  TfdvValidator auto_mode(BaselineMode::kAuto);
+  auto_mode.Fit(clean_);
+  // No inferred range/drift checks -> numeric anomalies invisible.
+  EXPECT_FALSE(auto_mode.IsDirty(anomalies_));
+  // But schema checks see typos (unseen categories) and missing values.
+  EXPECT_TRUE(auto_mode.IsDirty(typos_));
+  EXPECT_TRUE(auto_mode.IsDirty(missing_));
+}
+
+TEST_F(BaselinesTest, TfdvExpertCatchesOrdinaryMissesConflicts) {
+  TfdvValidator expert(BaselineMode::kExpert);
+  expert.Fit(clean_);
+  EXPECT_TRUE(expert.IsDirty(anomalies_));
+  EXPECT_TRUE(expert.IsDirty(typos_));
+  EXPECT_TRUE(expert.IsDirty(missing_));
+  EXPECT_FALSE(expert.IsDirty(conflict_));
+}
+
+TEST_F(BaselinesTest, TfdvExpertPassesClean) {
+  TfdvValidator expert(BaselineMode::kExpert);
+  expert.Fit(clean_);
+  Rng rng(5);
+  int flagged = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (expert.IsDirty(SampleBatch(clean_, 300, rng))) ++flagged;
+  }
+  EXPECT_LE(flagged, 1);
+}
+
+// ---- ADQV ----------------------------------------------------------------------
+
+TEST_F(BaselinesTest, AdqvDetectsStatisticShifts) {
+  AdqvValidator adqv;
+  adqv.Fit(clean_);
+  EXPECT_TRUE(adqv.IsDirty(anomalies_));
+  EXPECT_TRUE(adqv.IsDirty(missing_));
+}
+
+TEST_F(BaselinesTest, AdqvMostlyPassesClean) {
+  AdqvValidator adqv;
+  adqv.Fit(clean_);
+  Rng rng(6);
+  int flagged = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (adqv.IsDirty(SampleBatch(clean_, 300, rng))) ++flagged;
+  }
+  EXPECT_LE(flagged, 5);
+}
+
+TEST_F(BaselinesTest, AdqvScoreIsExposed) {
+  AdqvValidator adqv;
+  adqv.Fit(clean_);
+  adqv.IsDirty(anomalies_);
+  EXPECT_GT(adqv.last_score(), adqv.threshold());
+}
+
+// ---- Gate ----------------------------------------------------------------------
+
+TEST_F(BaselinesTest, GateFlagsGrossShifts) {
+  GateValidator gate;
+  gate.Fit(clean_);
+  EXPECT_TRUE(gate.IsDirty(missing_));
+  EXPECT_TRUE(gate.IsDirty(typos_));
+}
+
+TEST_F(BaselinesTest, GateViolationFractionExposed) {
+  GateValidator gate;
+  gate.Fit(clean_);
+  gate.IsDirty(missing_);
+  EXPECT_GT(gate.last_violation_fraction(), 0.0);
+}
+
+// ---- Cross-cutting ------------------------------------------------------------
+
+TEST_F(BaselinesTest, AllValidatorsHaveNames) {
+  DeequValidator da(BaselineMode::kAuto), de(BaselineMode::kExpert);
+  TfdvValidator ta(BaselineMode::kAuto), te(BaselineMode::kExpert);
+  AdqvValidator adqv;
+  GateValidator gate;
+  EXPECT_EQ(da.name(), "Deequ auto");
+  EXPECT_EQ(de.name(), "Deequ expert");
+  EXPECT_EQ(ta.name(), "TFDV auto");
+  EXPECT_EQ(te.name(), "TFDV expert");
+  EXPECT_EQ(adqv.name(), "ADQV");
+  EXPECT_EQ(gate.name(), "Gate");
+}
+
+TEST_F(BaselinesTest, DeequViolationDiagnostics) {
+  DeequValidator expert(BaselineMode::kExpert);
+  expert.Fit(clean_);
+  expert.IsDirty(anomalies_);
+  EXPECT_FALSE(expert.last_violations().empty());
+  bool mentions_income = false;
+  for (const std::string& v : expert.last_violations()) {
+    if (v.find("AMT_INCOME_TOTAL") != std::string::npos) {
+      mentions_income = true;
+    }
+  }
+  EXPECT_TRUE(mentions_income);
+}
+
+TEST_F(BaselinesTest, TfdvAnomalyDiagnostics) {
+  TfdvValidator auto_mode(BaselineMode::kAuto);
+  auto_mode.Fit(clean_);
+  auto_mode.IsDirty(typos_);
+  EXPECT_FALSE(auto_mode.last_anomalies().empty());
+}
+
+}  // namespace
+}  // namespace dquag

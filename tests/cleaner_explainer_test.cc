@@ -1,0 +1,169 @@
+// Tests for the post-validation extensions: DataCleaner (cleaning + data
+// selection) and Explainer (instance-level interpretability).
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/cleaner.h"
+#include "core/explainer.h"
+#include "data/error_injector.h"
+#include "data/generators.h"
+
+namespace dquag {
+namespace {
+
+class CleanerExplainerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(55);
+    clean_ = new Table(datasets::GenerateCreditCard(1500, rng));
+    DquagPipelineOptions options;
+    options.config.encoder.hidden_dim = 32;
+    options.config.epochs = 10;
+    options.config.seed = 55;
+    pipeline_ = new DquagPipeline(std::move(options));
+    ASSERT_TRUE(pipeline_->Fit(*clean_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete clean_;
+  }
+  static Table* clean_;
+  static DquagPipeline* pipeline_;
+};
+
+Table* CleanerExplainerTest::clean_ = nullptr;
+DquagPipeline* CleanerExplainerTest::pipeline_ = nullptr;
+
+TEST_F(CleanerExplainerTest, CleanRepairsOrDropsDirtyRows) {
+  Rng rng(1);
+  Table probe = datasets::GenerateCreditCard(600, rng);
+  ErrorInjector injector(2);
+  InjectionResult dirty =
+      injector.InjectNumericAnomalies(probe, {"AMT_INCOME_TOTAL"}, 0.2);
+
+  DataCleaner cleaner(pipeline_);
+  CleaningResult result = cleaner.Clean(dirty.table);
+  EXPECT_EQ(result.cleaned.num_rows(),
+            static_cast<int64_t>(result.kept_rows.size()));
+  EXPECT_EQ(result.rows_dropped + result.cleaned.num_rows(),
+            dirty.table.num_rows());
+  EXPECT_GT(result.rows_repaired + result.rows_dropped, 0);
+  // Cleaning output should classify clean (or at least improve).
+  BatchVerdict after = pipeline_->Validate(result.cleaned);
+  BatchVerdict before = pipeline_->Validate(dirty.table);
+  EXPECT_LT(after.flagged_fraction, before.flagged_fraction);
+}
+
+TEST_F(CleanerExplainerTest, KeptRowsIndexOriginalTable) {
+  Rng rng(3);
+  Table probe = datasets::GenerateCreditCard(200, rng);
+  DataCleaner cleaner(pipeline_);
+  CleaningResult result = cleaner.Clean(probe);
+  for (size_t i = 0; i + 1 < result.kept_rows.size(); ++i) {
+    EXPECT_LT(result.kept_rows[i], result.kept_rows[i + 1]);  // ordered
+  }
+  for (size_t row : result.kept_rows) {
+    EXPECT_LT(row, static_cast<size_t>(probe.num_rows()));
+  }
+}
+
+TEST_F(CleanerExplainerTest, SelectCleanestPrefersUncorruptedRows) {
+  Rng rng(4);
+  Table probe = datasets::GenerateCreditCard(400, rng);
+  ErrorInjector injector(5);
+  InjectionResult dirty =
+      injector.InjectNumericAnomalies(probe, {"AMT_INCOME_TOTAL"}, 0.3);
+
+  DataCleaner cleaner(pipeline_);
+  const std::vector<double> scores = cleaner.ScoreRows(dirty.table);
+  ASSERT_EQ(scores.size(), 400u);
+  Table best = cleaner.SelectCleanest(dirty.table, 200);
+  EXPECT_EQ(best.num_rows(), 200);
+  // The kept half should consist almost entirely of uncorrupted rows:
+  // compare mean score of kept vs full.
+  BatchVerdict kept_verdict = pipeline_->Validate(best);
+  BatchVerdict full_verdict = pipeline_->Validate(dirty.table);
+  EXPECT_LT(kept_verdict.flagged_fraction, full_verdict.flagged_fraction);
+}
+
+TEST_F(CleanerExplainerTest, SelectCleanestBounds) {
+  Rng rng(6);
+  Table probe = datasets::GenerateCreditCard(50, rng);
+  DataCleaner cleaner(pipeline_);
+  EXPECT_EQ(cleaner.SelectCleanest(probe, 500).num_rows(), 50);
+  EXPECT_EQ(cleaner.SelectCleanest(probe, 0).num_rows(), 0);
+}
+
+TEST_F(CleanerExplainerTest, DropUnrepairablePolicy) {
+  Rng rng(7);
+  Table probe = datasets::GenerateCreditCard(300, rng);
+  ErrorInjector injector(8);
+  Table dirty =
+      injector.InjectNumericAnomalies(probe, {"AMT_INCOME_TOTAL"}, 0.2)
+          .table;
+  CleaningPolicy policy;
+  policy.drop_unrepairable = true;
+  DataCleaner cleaner(pipeline_, policy);
+  CleaningResult result = cleaner.Clean(dirty);
+  BatchVerdict after = pipeline_->Validate(result.cleaned);
+  EXPECT_FALSE(after.is_dirty);
+}
+
+TEST_F(CleanerExplainerTest, ExplainerBlamesCorruptedFeature) {
+  Rng rng(9);
+  Table probe = datasets::GenerateCreditCard(50, rng);
+  // Corrupt one cell of row 0 hard.
+  probe.NumericByName("AMT_INCOME_TOTAL")[0] = 1e9;
+  Explainer explainer(pipeline_);
+  InstanceExplanation explanation = explainer.Explain(probe, 0);
+  ASSERT_TRUE(explanation.flagged);
+  ASSERT_FALSE(explanation.features.empty());
+  bool income_blamed = false;
+  for (const FeatureExplanation& fe : explanation.features) {
+    if (fe.feature_name == "AMT_INCOME_TOTAL") {
+      income_blamed = true;
+      EXPECT_GT(fe.error_share, 0.3);
+      // The repair suggestion should be far below the insane observation.
+      EXPECT_LT(fe.suggested, fe.observed);
+    }
+  }
+  EXPECT_TRUE(income_blamed);
+  EXPECT_FALSE(explanation.ToString().empty());
+}
+
+TEST_F(CleanerExplainerTest, ExplainerPassesCleanRow) {
+  Rng rng(10);
+  Table probe = datasets::GenerateCreditCard(50, rng);
+  Explainer explainer(pipeline_);
+  // At least 40 of 50 clean rows should not be flagged.
+  int flagged = 0;
+  for (size_t r = 0; r < 50; ++r) {
+    if (explainer.Explain(probe, r).flagged) ++flagged;
+  }
+  EXPECT_LE(flagged, 10);
+}
+
+TEST_F(CleanerExplainerTest, ExplainerReportsAttentionInfluences) {
+  Rng rng(11);
+  Table probe = datasets::GenerateCreditCard(10, rng);
+  probe.NumericByName("AMT_INCOME_TOTAL")[0] = 1e9;
+  Explainer explainer(pipeline_);
+  InstanceExplanation explanation = explainer.Explain(probe, 0);
+  ASSERT_TRUE(explanation.flagged);
+  bool any_influences = false;
+  for (const FeatureExplanation& fe : explanation.features) {
+    if (!fe.influences.empty()) {
+      any_influences = true;
+      // Weights sorted descending.
+      for (size_t i = 0; i + 1 < fe.influences.size(); ++i) {
+        EXPECT_GE(fe.influences[i].weight, fe.influences[i + 1].weight);
+      }
+    }
+  }
+  EXPECT_TRUE(any_influences);
+}
+
+}  // namespace
+}  // namespace dquag

@@ -1,0 +1,209 @@
+// Tests for the graph module: FeatureGraph structure, statistical
+// relationship mining, and the JSON exchange format.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/feature_graph.h"
+#include "graph/relationship_inference.h"
+#include "graph/relationship_json.h"
+#include "util/rng.h"
+
+namespace dquag {
+namespace {
+
+TEST(FeatureGraphTest, UndirectedEdgesAreTwoArcs) {
+  FeatureGraph g(4);
+  g.AddUndirectedEdge(0, 2);
+  EXPECT_EQ(g.num_arcs(), 2);
+  EXPECT_TRUE(g.HasArc(0, 2));
+  EXPECT_TRUE(g.HasArc(2, 0));
+  EXPECT_FALSE(g.HasArc(0, 1));
+}
+
+TEST(FeatureGraphTest, DuplicateAndSelfEdgesIgnored) {
+  FeatureGraph g(3);
+  g.AddUndirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 0);
+  g.AddUndirectedEdge(2, 2);
+  EXPECT_EQ(g.num_arcs(), 2);
+}
+
+TEST(FeatureGraphTest, SelfLoopsIdempotent) {
+  FeatureGraph g(3);
+  g.AddUndirectedEdge(0, 1);
+  g.AddSelfLoops();
+  g.AddSelfLoops();
+  EXPECT_EQ(g.num_arcs(), 2 + 3);
+}
+
+TEST(FeatureGraphTest, CompleteAndChain) {
+  FeatureGraph complete = FeatureGraph::Complete(5);
+  EXPECT_EQ(complete.num_arcs(), 5 * 4);
+  FeatureGraph chain = FeatureGraph::Chain(5);
+  EXPECT_EQ(chain.num_arcs(), 2 * 4);
+  EXPECT_EQ(chain.InDegree(0), 1);
+  EXPECT_EQ(chain.InDegree(2), 2);
+}
+
+TEST(FeatureGraphTest, GcnNormalizationSymmetric) {
+  FeatureGraph g = FeatureGraph::Chain(3);
+  g.AddSelfLoops();
+  const std::vector<float> norm = g.GcnNormalization();
+  ASSERT_EQ(norm.size(), static_cast<size_t>(g.num_arcs()));
+  // Middle node has degree 3 (two neighbours + self), ends degree 2.
+  // Arc 0->1: 1/sqrt(2*3).
+  for (size_t e = 0; e < norm.size(); ++e) {
+    if (g.src()[e] == 0 && g.dst()[e] == 1) {
+      EXPECT_NEAR(norm[e], 1.0f / std::sqrt(6.0f), 1e-5f);
+    }
+    if (g.src()[e] == 0 && g.dst()[e] == 0) {
+      EXPECT_NEAR(norm[e], 0.5f, 1e-5f);
+    }
+  }
+}
+
+TEST(FeatureGraphTest, FromRelationshipsResolvesNames) {
+  const std::vector<std::string> names = {"a", "b", "c"};
+  auto g = FeatureGraph::FromRelationships(
+      names, {{"a", "c", 0.9, "numeric"}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasArc(0, 2));
+  // Isolated node b got a self arc so it still receives a message.
+  EXPECT_TRUE(g->HasArc(1, 1));
+}
+
+TEST(FeatureGraphTest, FromRelationshipsUnknownNameIsError) {
+  auto g = FeatureGraph::FromRelationships({"a"}, {{"a", "zz"}});
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kNotFound);
+}
+
+// ---- Association statistics ---------------------------------------------------
+
+TEST(AssociationTest, PearsonPerfectAndNone) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-9);
+  std::vector<double> anti = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, anti), -1.0, 1e-9);
+  std::vector<double> constant = {3, 3, 3, 3, 3};
+  EXPECT_EQ(PearsonCorrelation(x, constant), 0.0);
+}
+
+TEST(AssociationTest, CramersVDependence) {
+  // Perfectly dependent: y == x.
+  std::vector<double> x, y, indep;
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    const double v = static_cast<double>(rng.UniformInt(0, 2));
+    x.push_back(v);
+    y.push_back(v);
+    indep.push_back(static_cast<double>(rng.UniformInt(0, 2)));
+  }
+  EXPECT_GT(CramersV(x, y), 0.95);
+  EXPECT_LT(CramersV(x, indep), 0.15);
+}
+
+TEST(AssociationTest, CorrelationRatioGroupedMeans) {
+  // Numeric value fully determined by category -> eta ~ 1.
+  std::vector<double> cat, num, noise;
+  Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const double c = static_cast<double>(rng.UniformInt(0, 2));
+    cat.push_back(c);
+    num.push_back(10.0 * c);
+    noise.push_back(rng.Normal());
+  }
+  EXPECT_GT(CorrelationRatio(cat, num), 0.99);
+  EXPECT_LT(CorrelationRatio(cat, noise), 0.2);
+}
+
+TEST(MinerTest, FindsPlantedRelationships) {
+  Rng rng(5);
+  MinerColumn a{"a", {}, false};
+  MinerColumn b{"b", {}, false};   // b = 2a + noise
+  MinerColumn c{"c", {}, true};    // independent categorical
+  MinerColumn d{"d", {}, false};   // independent numeric
+  for (int i = 0; i < 1000; ++i) {
+    const double va = rng.Normal();
+    a.values.push_back(va);
+    b.values.push_back(2.0 * va + 0.1 * rng.Normal());
+    c.values.push_back(static_cast<double>(rng.UniformInt(0, 3)));
+    d.values.push_back(rng.Normal());
+  }
+  const auto relationships = MineRelationships({a, b, c, d});
+  bool found_ab = false;
+  for (const auto& rel : relationships) {
+    const bool is_ab = (rel.feature1 == "a" && rel.feature2 == "b");
+    if (is_ab) {
+      found_ab = true;
+      EXPECT_EQ(rel.kind, "numeric");
+      EXPECT_GT(rel.score, 0.9);
+    }
+    // No spurious strong links to the independent columns.
+    EXPECT_FALSE(rel.feature1 == "d" || rel.feature2 == "d");
+  }
+  EXPECT_TRUE(found_ab);
+}
+
+TEST(MinerTest, MixedAssociationDetected) {
+  Rng rng(6);
+  MinerColumn cat{"cat", {}, true};
+  MinerColumn num{"num", {}, false};
+  for (int i = 0; i < 800; ++i) {
+    const double c = static_cast<double>(rng.UniformInt(0, 2));
+    cat.values.push_back(c);
+    num.values.push_back(5.0 * c + rng.Normal());
+  }
+  const auto relationships = MineRelationships({cat, num});
+  ASSERT_EQ(relationships.size(), 1u);
+  EXPECT_EQ(relationships[0].kind, "mixed");
+}
+
+// ---- JSON exchange -----------------------------------------------------------
+
+TEST(RelationshipJsonTest, RoundTrip) {
+  std::vector<FeatureRelationship> rels = {
+      {"Age", "Income", 0.8, "numeric"},
+      {"City", "Country", 0.95, "categorical"},
+  };
+  const std::string json = RelationshipsToJson(rels, /*include_scores=*/true);
+  auto parsed = RelationshipsFromJson(json);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].feature1, "Age");
+  EXPECT_NEAR((*parsed)[1].score, 0.95, 1e-9);
+  EXPECT_EQ((*parsed)[1].kind, "categorical");
+}
+
+TEST(RelationshipJsonTest, PaperFormatWithoutScores) {
+  // Exactly the format in §3.1.1 of the paper.
+  const std::string json =
+      R"({"relationships": [{"feature1": "A", "feature2": "B"}]})";
+  auto parsed = RelationshipsFromJson(json);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)[0].feature2, "B");
+  EXPECT_DOUBLE_EQ((*parsed)[0].score, 1.0);
+}
+
+TEST(RelationshipJsonTest, MalformedInputsRejected) {
+  EXPECT_FALSE(RelationshipsFromJson("[]").ok());
+  EXPECT_FALSE(RelationshipsFromJson(R"({"relationships": 3})").ok());
+  EXPECT_FALSE(
+      RelationshipsFromJson(R"({"relationships": [{"feature1": "x"}]})")
+          .ok());
+}
+
+TEST(RelationshipJsonTest, FileRoundTrip) {
+  std::vector<FeatureRelationship> rels = {{"x", "y", 0.5, "numeric"}};
+  const std::string path = "/tmp/dquag_rels_test.json";
+  ASSERT_TRUE(SaveRelationships(rels, path, true).ok());
+  auto loaded = LoadRelationships(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)[0].feature1, "x");
+}
+
+}  // namespace
+}  // namespace dquag

@@ -1,0 +1,160 @@
+// Tests for the streaming QualityMonitor and the JSON schema loader.
+
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "data/batch_sampler.h"
+#include "data/error_injector.h"
+#include "data/generators.h"
+#include "data/schema_json.h"
+
+namespace dquag {
+namespace {
+
+// ---- Schema JSON ---------------------------------------------------------------
+
+TEST(SchemaJsonTest, ParseValid) {
+  auto schema = SchemaFromJson(R"({
+    "columns": [
+      {"name": "age", "type": "numeric", "description": "age in years"},
+      {"name": "city", "type": "categorical"}
+    ]})");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_columns(), 2);
+  EXPECT_EQ(schema->column(0).type, ColumnType::kNumeric);
+  EXPECT_EQ(schema->column(0).description, "age in years");
+  EXPECT_EQ(schema->column(1).type, ColumnType::kCategorical);
+}
+
+TEST(SchemaJsonTest, TypeAliases) {
+  auto schema = SchemaFromJson(R"({
+    "columns": [
+      {"name": "a", "type": "int"},
+      {"name": "b", "type": "float"},
+      {"name": "c", "type": "string"},
+      {"name": "d", "type": "category"}
+    ]})");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->column(0).type, ColumnType::kNumeric);
+  EXPECT_EQ(schema->column(1).type, ColumnType::kNumeric);
+  EXPECT_EQ(schema->column(2).type, ColumnType::kCategorical);
+  EXPECT_EQ(schema->column(3).type, ColumnType::kCategorical);
+}
+
+TEST(SchemaJsonTest, Malformed) {
+  EXPECT_FALSE(SchemaFromJson("{}").ok());
+  EXPECT_FALSE(SchemaFromJson(R"({"columns": []})").ok());
+  EXPECT_FALSE(
+      SchemaFromJson(R"({"columns": [{"name": "x"}]})").ok());
+  EXPECT_FALSE(
+      SchemaFromJson(R"({"columns": [{"name": "x", "type": "blob"}]})")
+          .ok());
+}
+
+TEST(SchemaJsonTest, RoundTrip) {
+  Schema original = datasets::CreditCardSchema();
+  auto reparsed = SchemaFromJson(SchemaToJson(original));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(*reparsed == original);
+  // Descriptions survive.
+  EXPECT_EQ(reparsed->column(4).description,
+            original.column(4).description);
+}
+
+TEST(SchemaJsonTest, FileRoundTrip) {
+  const std::string path = "/tmp/dquag_schema_test.json";
+  ASSERT_TRUE(SaveSchema(datasets::AirbnbSchema(), path).ok());
+  auto loaded = LoadSchema(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(*loaded == datasets::AirbnbSchema());
+}
+
+// ---- QualityMonitor --------------------------------------------------------------
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(66);
+    clean_ = new Table(datasets::GenerateCreditCard(1500, rng));
+    DquagPipelineOptions options;
+    options.config.encoder.hidden_dim = 32;
+    options.config.epochs = 8;
+    options.config.seed = 66;
+    options.config.batch_flag_multiplier = 1.5;
+    pipeline_ = new DquagPipeline(std::move(options));
+    ASSERT_TRUE(pipeline_->Fit(*clean_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete clean_;
+  }
+  static Table* clean_;
+  static DquagPipeline* pipeline_;
+};
+
+Table* MonitorTest::clean_ = nullptr;
+DquagPipeline* MonitorTest::pipeline_ = nullptr;
+
+TEST_F(MonitorTest, CleanStreamStaysQuiet) {
+  QualityMonitor monitor(pipeline_);
+  Rng rng(1);
+  for (int i = 0; i < 8; ++i) {
+    monitor.Observe(SampleBatch(*clean_, 300, rng));
+  }
+  EXPECT_FALSE(monitor.alarming());
+  EXPECT_EQ(monitor.history().size(), 8u);
+  EXPECT_LT(monitor.DirtyBatchRate(), 0.3);
+}
+
+TEST_F(MonitorTest, SustainedDegradationRaisesAlarm) {
+  QualityMonitor monitor(pipeline_);
+  Rng rng(2);
+  ErrorInjector injector(3);
+  Table dirty =
+      injector.InjectNumericAnomalies(*clean_, {"AMT_INCOME_TOTAL"}, 0.3)
+          .table;
+  // Warm up with clean batches, then degrade.
+  for (int i = 0; i < 3; ++i) {
+    monitor.Observe(SampleBatch(*clean_, 300, rng));
+  }
+  EXPECT_FALSE(monitor.alarming());
+  for (int i = 0; i < 6; ++i) {
+    monitor.Observe(SampleBatch(dirty, 300, rng));
+  }
+  EXPECT_TRUE(monitor.alarming());
+  EXPECT_GT(monitor.DirtyBatchRate(), 0.4);
+}
+
+TEST_F(MonitorTest, EwmaSmoothesSingleSpike) {
+  MonitorOptions options;
+  options.ewma_alpha = 0.1;       // heavy smoothing: one spike cannot alarm
+  options.alarm_multiplier = 2.0;  // alarm reserved for sustained shift
+  options.warmup_batches = 2;
+  QualityMonitor monitor(pipeline_, options);
+  Rng rng(4);
+  ErrorInjector injector(5);
+  Table dirty =
+      injector.InjectNumericAnomalies(*clean_, {"AMT_INCOME_TOTAL"}, 0.3)
+          .table;
+  for (int i = 0; i < 5; ++i) {
+    monitor.Observe(SampleBatch(*clean_, 300, rng));
+  }
+  // One bad batch: single-batch verdict fires, EWMA alarm should not.
+  MonitorObservation spike = monitor.Observe(SampleBatch(dirty, 300, rng));
+  EXPECT_TRUE(spike.batch_dirty);
+  EXPECT_FALSE(spike.alarm);
+}
+
+TEST_F(MonitorTest, ResetClearsState) {
+  QualityMonitor monitor(pipeline_);
+  Rng rng(6);
+  monitor.Observe(SampleBatch(*clean_, 200, rng));
+  EXPECT_EQ(monitor.history().size(), 1u);
+  monitor.Reset();
+  EXPECT_EQ(monitor.history().size(), 0u);
+  EXPECT_FALSE(monitor.alarming());
+  EXPECT_DOUBLE_EQ(monitor.DirtyBatchRate(), 0.0);
+}
+
+}  // namespace
+}  // namespace dquag

@@ -1,0 +1,239 @@
+// dquag — command-line interface to the DQuaG pipeline.
+//
+// Subcommands:
+//   dquag train    --clean data.csv --schema schema.json --out model.ckpt
+//                  [--epochs N] [--encoder gat+gin] [--relationships r.json]
+//   dquag validate --model model.ckpt --data new.csv [--verbose]
+//   dquag repair   --model model.ckpt --data new.csv --out repaired.csv
+//   dquag explain  --model model.ckpt --data new.csv --row K
+//   dquag schema-template --data data.csv   (guess a schema from a CSV)
+//
+// Exit code: 0 on success (validate: also when the batch is clean),
+// 2 when validate classifies the batch dirty, 1 on errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/explainer.h"
+#include "core/pipeline.h"
+#include "data/schema_json.h"
+#include "graph/relationship_json.h"
+#include "util/logging.h"
+
+namespace dquag {
+namespace {
+
+/// Minimal --flag value parser; flags without '--' are positional.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) == 0) {
+        const std::string key = token.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          values_[key] = argv[++i];
+        } else {
+          values_[key] = "1";  // boolean flag
+        }
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+StatusOr<Table> LoadTable(const std::string& schema_path,
+                          const std::string& data_path) {
+  auto schema = LoadSchema(schema_path);
+  if (!schema.ok()) return schema.status();
+  auto csv = ReadCsvFile(data_path);
+  if (!csv.ok()) return csv.status();
+  return Table::FromCsv(*schema, *csv);
+}
+
+int CmdTrain(const Args& args) {
+  const std::string clean_path = args.Get("clean");
+  const std::string schema_path = args.Get("schema");
+  const std::string out_path = args.Get("out", "model.ckpt");
+  if (clean_path.empty() || schema_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: dquag train --clean data.csv --schema schema.json "
+                 "--out model.ckpt [--epochs N] [--encoder gat+gin]\n");
+    return 1;
+  }
+  auto table = LoadTable(schema_path, clean_path);
+  if (!table.ok()) return Fail(table.status());
+
+  DquagPipelineOptions options;
+  options.config.epochs = args.GetInt("epochs", 25);
+  options.config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  if (args.Has("encoder")) {
+    auto kind = ParseEncoderKind(args.Get("encoder"));
+    if (!kind.ok()) return Fail(kind.status());
+    options.config.encoder.kind = *kind;
+  }
+  if (args.Has("relationships")) {
+    auto rels = LoadRelationships(args.Get("relationships"));
+    if (!rels.ok()) return Fail(rels.status());
+    options.relationships = *rels;
+  }
+
+  DquagPipeline pipeline(std::move(options));
+  Status status = pipeline.Fit(*table);
+  if (!status.ok()) return Fail(status);
+  std::printf("trained on %lld rows; threshold %.6f; %zu relationships\n",
+              static_cast<long long>(table->num_rows()),
+              pipeline.threshold(), pipeline.relationships().size());
+  status = pipeline.Save(out_path);
+  if (!status.ok()) return Fail(status);
+  std::printf("checkpoint: %s\n", out_path.c_str());
+  return 0;
+}
+
+StatusOr<DquagPipeline> LoadModelAndData(const Args& args, Table* table) {
+  const std::string model_path = args.Get("model");
+  const std::string data_path = args.Get("data");
+  if (model_path.empty() || data_path.empty()) {
+    return Status::InvalidArgument("--model and --data are required");
+  }
+  auto pipeline = DquagPipeline::Load(model_path);
+  if (!pipeline.ok()) return pipeline.status();
+  auto csv = ReadCsvFile(data_path);
+  if (!csv.ok()) return csv.status();
+  auto loaded = Table::FromCsv(pipeline->preprocessor().schema(), *csv);
+  if (!loaded.ok()) return loaded.status();
+  *table = std::move(*loaded);
+  return pipeline;
+}
+
+int CmdValidate(const Args& args) {
+  Table table;
+  auto pipeline = LoadModelAndData(args, &table);
+  if (!pipeline.ok()) return Fail(pipeline.status());
+  BatchVerdict verdict = pipeline->Validate(table);
+  std::printf("%s: %.2f%% of %lld instances flagged (cutoff %.2f%%)\n",
+              verdict.is_dirty ? "DIRTY" : "clean",
+              verdict.flagged_fraction * 100.0,
+              static_cast<long long>(table.num_rows()),
+              pipeline->validator().batch_cutoff() * 100.0);
+  if (args.Has("verbose")) {
+    const Schema& schema = table.schema();
+    for (size_t row : verdict.flagged_rows) {
+      const InstanceVerdict& inst = verdict.instances[row];
+      std::printf("row %zu: error %.5f; suspect:", row, inst.error);
+      for (int64_t c : inst.suspect_features) {
+        std::printf(" %s", schema.column(c).name.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return verdict.is_dirty ? 2 : 0;
+}
+
+int CmdRepair(const Args& args) {
+  Table table;
+  auto pipeline = LoadModelAndData(args, &table);
+  if (!pipeline.ok()) return Fail(pipeline.status());
+  const std::string out_path = args.Get("out", "repaired.csv");
+  RepairResult repair = pipeline->ValidateAndRepair(table);
+  Status status = WriteCsvFile(repair.repaired.ToCsv(), out_path);
+  if (!status.ok()) return Fail(status);
+  std::printf("repaired %lld cells in %lld instances -> %s\n",
+              static_cast<long long>(repair.cells_repaired),
+              static_cast<long long>(repair.instances_repaired),
+              out_path.c_str());
+  return 0;
+}
+
+int CmdExplain(const Args& args) {
+  Table table;
+  auto pipeline = LoadModelAndData(args, &table);
+  if (!pipeline.ok()) return Fail(pipeline.status());
+  const int64_t row = args.GetInt("row", 0);
+  if (row < 0 || row >= table.num_rows()) {
+    return Fail(Status::OutOfRange("--row out of range"));
+  }
+  Explainer explainer(&*pipeline);
+  const InstanceExplanation explanation =
+      explainer.Explain(table, static_cast<size_t>(row));
+  std::printf("row %lld: %s\n", static_cast<long long>(row),
+              explanation.ToString().c_str());
+  return 0;
+}
+
+int CmdSchemaTemplate(const Args& args) {
+  const std::string data_path = args.Get("data");
+  if (data_path.empty()) {
+    std::fprintf(stderr, "usage: dquag schema-template --data data.csv\n");
+    return 1;
+  }
+  auto csv = ReadCsvFile(data_path);
+  if (!csv.ok()) return Fail(csv.status());
+  // Guess: a column is numeric if every non-empty cell parses as a number.
+  std::vector<ColumnSpec> specs;
+  for (size_t c = 0; c < csv->header.size(); ++c) {
+    bool numeric = true;
+    for (const auto& row : csv->rows) {
+      const std::string& cell = row[c];
+      if (cell.empty()) continue;
+      char* end = nullptr;
+      std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0') {
+        numeric = false;
+        break;
+      }
+    }
+    specs.push_back({csv->header[c],
+                     numeric ? ColumnType::kNumeric
+                             : ColumnType::kCategorical,
+                     ""});
+  }
+  std::printf("%s\n", SchemaToJson(Schema(std::move(specs))).c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: dquag <train|validate|repair|explain|"
+                 "schema-template> [flags]\n");
+    return 1;
+  }
+  SetLogLevel(LogLevel::kWarning);
+  const std::string command = argv[1];
+  Args args(argc, argv);
+  if (command == "train") return CmdTrain(args);
+  if (command == "validate") return CmdValidate(args);
+  if (command == "repair") return CmdRepair(args);
+  if (command == "explain") return CmdExplain(args);
+  if (command == "schema-template") return CmdSchemaTemplate(args);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 1;
+}
+
+}  // namespace
+}  // namespace dquag
+
+int main(int argc, char** argv) { return dquag::Run(argc, argv); }
