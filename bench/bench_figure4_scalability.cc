@@ -39,7 +39,9 @@ void RunAll() {
 
   std::printf("=== Figure 4: validation time (s) on NY Taxi ===\n");
   std::printf("%12s", "rows");
-  for (int64_t dims : {5, 10, 18}) std::printf("  %8d-dim", dims);
+  for (int64_t dims : {5, 10, 18}) {
+    std::printf("  %8lld-dim", static_cast<long long>(dims));
+  }
   std::printf("\n");
 
   // One trained pipeline per dimensionality.

@@ -3,6 +3,7 @@
 #ifndef DQUAG_BENCH_BENCH_UTIL_H_
 #define DQUAG_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 

@@ -7,6 +7,7 @@
 #ifndef DQUAG_BASELINES_COLUMN_PROFILE_H_
 #define DQUAG_BASELINES_COLUMN_PROFILE_H_
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>

@@ -13,6 +13,7 @@
 #ifndef DQUAG_BASELINES_DEEQU_H_
 #define DQUAG_BASELINES_DEEQU_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "baselines/batch_validator.h"

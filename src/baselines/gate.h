@@ -13,6 +13,7 @@
 #ifndef DQUAG_BASELINES_GATE_H_
 #define DQUAG_BASELINES_GATE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "baselines/batch_validator.h"

@@ -14,6 +14,7 @@
 #ifndef DQUAG_BASELINES_TFDV_H_
 #define DQUAG_BASELINES_TFDV_H_
 
+#include <cstdint>
 #include <map>
 #include <vector>
 

@@ -11,6 +11,8 @@
 #ifndef DQUAG_CORE_CLEANER_H_
 #define DQUAG_CORE_CLEANER_H_
 
+#include <cstdint>
+
 #include "core/pipeline.h"
 
 namespace dquag {

@@ -12,6 +12,7 @@
 #ifndef DQUAG_CORE_EXPLAINER_H_
 #define DQUAG_CORE_EXPLAINER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -12,6 +12,7 @@
 #ifndef DQUAG_CORE_MODEL_H_
 #define DQUAG_CORE_MODEL_H_
 
+#include <cstdint>
 #include <memory>
 
 #include "core/config.h"

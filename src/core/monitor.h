@@ -11,6 +11,7 @@
 #ifndef DQUAG_CORE_MONITOR_H_
 #define DQUAG_CORE_MONITOR_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/pipeline.h"

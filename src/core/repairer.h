@@ -9,6 +9,8 @@
 #ifndef DQUAG_CORE_REPAIRER_H_
 #define DQUAG_CORE_REPAIRER_H_
 
+#include <cstdint>
+
 #include "core/validator.h"
 
 namespace dquag {

@@ -3,6 +3,7 @@
 #ifndef DQUAG_CORE_TRAINER_H_
 #define DQUAG_CORE_TRAINER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/error_stats.h"

@@ -19,6 +19,7 @@
 #ifndef DQUAG_DATA_ERROR_INJECTOR_H_
 #define DQUAG_DATA_ERROR_INJECTOR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -17,6 +17,8 @@
 #ifndef DQUAG_DATA_GENERATORS_H_
 #define DQUAG_DATA_GENERATORS_H_
 
+#include <cstdint>
+
 #include "data/table.h"
 #include "util/rng.h"
 

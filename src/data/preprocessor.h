@@ -14,6 +14,7 @@
 #ifndef DQUAG_DATA_PREPROCESSOR_H_
 #define DQUAG_DATA_PREPROCESSOR_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>

@@ -10,6 +10,7 @@
 #ifndef DQUAG_GNN_ENCODER_H_
 #define DQUAG_GNN_ENCODER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -10,6 +10,7 @@
 #ifndef DQUAG_GNN_GAT_LAYER_H_
 #define DQUAG_GNN_GAT_LAYER_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

@@ -7,6 +7,7 @@
 #ifndef DQUAG_GNN_GCN_LAYER_H_
 #define DQUAG_GNN_GCN_LAYER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "gnn/layer.h"

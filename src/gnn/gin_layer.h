@@ -9,6 +9,7 @@
 #ifndef DQUAG_GNN_GIN_LAYER_H_
 #define DQUAG_GNN_GIN_LAYER_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

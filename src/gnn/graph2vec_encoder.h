@@ -13,6 +13,7 @@
 #ifndef DQUAG_GNN_GRAPH2VEC_ENCODER_H_
 #define DQUAG_GNN_GRAPH2VEC_ENCODER_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

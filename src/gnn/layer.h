@@ -7,6 +7,8 @@
 #ifndef DQUAG_GNN_LAYER_H_
 #define DQUAG_GNN_LAYER_H_
 
+#include <cstdint>
+
 #include "graph/feature_graph.h"
 #include "nn/module.h"
 

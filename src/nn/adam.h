@@ -4,6 +4,7 @@
 #ifndef DQUAG_NN_ADAM_H_
 #define DQUAG_NN_ADAM_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "autograd/variable.h"

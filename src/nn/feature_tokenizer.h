@@ -10,6 +10,8 @@
 #ifndef DQUAG_NN_FEATURE_TOKENIZER_H_
 #define DQUAG_NN_FEATURE_TOKENIZER_H_
 
+#include <cstdint>
+
 #include "nn/module.h"
 #include "util/rng.h"
 

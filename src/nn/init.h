@@ -3,6 +3,8 @@
 #ifndef DQUAG_NN_INIT_H_
 #define DQUAG_NN_INIT_H_
 
+#include <cstdint>
+
 #include "tensor/tensor.h"
 #include "util/rng.h"
 

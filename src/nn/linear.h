@@ -3,6 +3,7 @@
 #ifndef DQUAG_NN_LINEAR_H_
 #define DQUAG_NN_LINEAR_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/module.h"

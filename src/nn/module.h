@@ -7,6 +7,7 @@
 #ifndef DQUAG_NN_MODULE_H_
 #define DQUAG_NN_MODULE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
