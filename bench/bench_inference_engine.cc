@@ -1,0 +1,128 @@
+// Tape vs engine inference throughput on the Figure-4 data shapes.
+//
+// Phase 2 is the deployed hot path; this bench quantifies what the
+// tape-free engine buys over running the same model through the autograd
+// ops under NoGradGuard (per-op tensor allocation + zero-fill + shared_ptr
+// tape nodes). Part 1 compares single-client reconstruction throughput
+// across batch sizes; part 2 drives a ValidationService with increasing
+// numbers of concurrent client threads (micro-batched fan-out across the
+// process pool).
+//
+// DQUAG_BENCH_FAST=1 shrinks the workload for smoke runs.
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/validation_service.h"
+#include "data/generators.h"
+#include "engine/inference_context.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace dquag {
+namespace {
+
+void RunAll() {
+  const bool fast = bench::FastMode();
+  const int64_t train_rows = bench::EnvInt("DQUAG_ROWS", fast ? 1000 : 3000);
+  const int64_t epochs = bench::EnvInt("DQUAG_EPOCHS", fast ? 3 : 10);
+  const int64_t eval_rows =
+      bench::EnvInt("DQUAG_ENGINE_EVAL_ROWS", fast ? 20000 : 100000);
+
+  // Train on the Figure-4 shape: NY Taxi, 18 columns.
+  Rng rng(41);
+  Table clean = datasets::GenerateNyTaxi(train_rows, rng, /*dims=*/18);
+  DquagPipelineOptions options;
+  options.config.epochs = epochs;
+  options.config.seed = 41;
+  auto pipeline = std::make_unique<DquagPipeline>(std::move(options));
+  DQUAG_CHECK(pipeline->Fit(clean).ok());
+
+  Rng eval_rng(97);
+  Table eval = datasets::GenerateNyTaxi(eval_rows, eval_rng, /*dims=*/18);
+  const Tensor matrix = pipeline->preprocessor().Transform(eval);
+  const int64_t d = matrix.dim(1);
+  const DquagModel& model = pipeline->model();
+
+  std::printf("=== tape vs engine: validation-head reconstruction ===\n");
+  std::printf("(%lld eval rows, 18 columns, hidden %lld, single client)\n",
+              static_cast<long long>(eval_rows),
+              static_cast<long long>(model.encoder().config().hidden_dim));
+  std::printf("%10s  %14s  %14s  %8s\n", "batch", "tape rows/s",
+              "engine rows/s", "speedup");
+  // 512 is the service micro-batch default, 2048 the validator chunk
+  // default, 8192 a large request.
+  for (const int64_t batch : {512LL, 2048LL, 8192LL}) {
+    auto run_chunks = [&](auto&& body) {
+      for (int64_t start = 0; start < eval_rows; start += batch) {
+        const int64_t end = std::min(eval_rows, start + batch);
+        body(start, end);
+      }
+    };
+    // Tape: NoGrad autograd ops, allocating per op (the pre-engine path).
+    Stopwatch tape_timer;
+    run_chunks([&](int64_t start, int64_t end) {
+      Tensor slice({end - start, d});
+      std::copy(matrix.data() + start * d, matrix.data() + end * d,
+                slice.data());
+      Tensor out = model.ReconstructValidationTape(slice);
+      (void)out;
+    });
+    const double tape_s = tape_timer.ElapsedSeconds();
+
+    // Engine: fused kernels over a reused per-thread workspace.
+    InferenceContext& ctx = InferenceContext::ThreadLocal();
+    Stopwatch engine_timer;
+    run_chunks([&](int64_t start, int64_t end) {
+      ctx.Rewind();
+      Tensor& slice = ctx.Acquire({end - start, d});
+      std::copy(matrix.data() + start * d, matrix.data() + end * d,
+                slice.data());
+      const Tensor& out = model.InferValidation(slice, ctx);
+      (void)out;
+    });
+    const double engine_s = engine_timer.ElapsedSeconds();
+
+    std::printf("%10lld  %14.0f  %14.0f  %7.2fx\n",
+                static_cast<long long>(batch), eval_rows / tape_s,
+                eval_rows / engine_s, tape_s / engine_s);
+  }
+
+  std::printf("\n=== ValidationService scaling (concurrent clients) ===\n");
+  ValidationServiceOptions service_options;
+  ValidationService service(std::move(*pipeline), service_options);
+  std::printf("%10s  %14s  %14s\n", "clients", "rows/s", "per-client");
+  for (const int clients : {1, 2, 4, 8}) {
+    const int rounds = fast ? 2 : 4;
+    Stopwatch timer;
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(clients));
+    for (int t = 0; t < clients; ++t) {
+      workers.emplace_back([&] {
+        for (int r = 0; r < rounds; ++r) {
+          BatchVerdict verdict = service.ValidateMatrix(matrix);
+          (void)verdict;
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    const double seconds = timer.ElapsedSeconds();
+    const double total_rows =
+        static_cast<double>(clients) * rounds * eval_rows;
+    std::printf("%10d  %14.0f  %14.0f\n", clients, total_rows / seconds,
+                total_rows / seconds / clients);
+  }
+  std::printf("(verdicts are identical to serial validation by construction)\n");
+}
+
+}  // namespace
+}  // namespace dquag
+
+int main() {
+  dquag::SetLogLevel(dquag::LogLevel::kWarning);
+  dquag::RunAll();
+  return 0;
+}

@@ -19,9 +19,14 @@ InstanceExplanation Explainer::Explain(const Table& batch, size_t row) const {
   const Tensor x = pipeline_->preprocessor().Transform(single);
   const DquagModel& model = pipeline_->model();
 
-  // Forward the single instance; GAT layers snapshot their attention.
-  const Tensor reconstruction = model.ReconstructValidation(x);
-  const Tensor suggestion = model.ReconstructRepair(x);
+  // Forward the single instance on the tape path with an explicit
+  // attention recorder — the interpretability hook the engine's hot path
+  // deliberately does not pay for.
+  NoGradGuard no_grad;
+  AttentionRecorder recorder;
+  const DquagForward forward = model.Forward(MakeVar(x), &recorder);
+  const Tensor& reconstruction = forward.validation->value();
+  const Tensor& suggestion = forward.repair->value();
   const Tensor feature_errors = PerFeatureErrors(reconstruction, x);
 
   const int64_t d = x.dim(1);
@@ -41,22 +46,19 @@ InstanceExplanation Explainer::Explain(const Table& batch, size_t row) const {
 
   // Aggregate incoming attention per destination feature across GAT layers.
   std::map<int64_t, std::map<int64_t, double>> attention_in;
-  const auto gat_layers = model.encoder().gat_layers();
-  for (const GatLayer* layer : gat_layers) {
-    const auto& heads = layer->last_attention();
-    const auto& src = layer->arc_src();
-    const auto& dst = layer->arc_dst();
-    for (const auto& head : heads) {
+  const auto& recorded = recorder.layers();
+  for (const auto& layer_attention : recorded) {
+    const auto& src = layer_attention.layer->arc_src();
+    const auto& dst = layer_attention.layer->arc_dst();
+    for (const auto& head : layer_attention.heads) {
       for (size_t e = 0; e < src.size(); ++e) {
         attention_in[dst[e]][src[e]] += head[e];
       }
     }
   }
   const double norm =
-      std::max<size_t>(1, gat_layers.size()) *
-      std::max<size_t>(1, gat_layers.empty()
-                              ? 1
-                              : gat_layers[0]->last_attention().size());
+      std::max<size_t>(1, recorded.size()) *
+      std::max<size_t>(1, recorded.empty() ? 1 : recorded[0].heads.size());
 
   for (int64_t c : inst.suspect_features) {
     FeatureExplanation fe;

@@ -39,6 +39,38 @@ VarPtr ReconstructionDecoder::Forward(const VarPtr& z) const {
   return readout_->Forward(mlp_->Forward(z));
 }
 
+Tensor& FeatureDetokenizer::InferForward(const Tensor& z,
+                                         InferenceContext& ctx) const {
+  DQUAG_CHECK_EQ(z.ndim(), 3);
+  DQUAG_CHECK_EQ(z.dim(1), num_features_);
+  DQUAG_CHECK_EQ(z.dim(2), embedding_dim_);
+  const int64_t batch = z.dim(0);
+  const int64_t d = num_features_;
+  const int64_t h = embedding_dim_;
+  Tensor& out = ctx.Acquire({batch, d});
+  const float* pz = z.data();
+  const float* pw = weight_->value().data();
+  const float* pb = bias_->value().data();
+  float* po = out.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* zr = pz + b * d * h;
+    float* o = po + b * d;
+    for (int64_t f = 0; f < d; ++f) {
+      const float* zf = zr + f * h;
+      const float* wf = pw + f * h;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < h; ++j) acc += zf[j] * wf[j];
+      o[f] = acc + pb[f];
+    }
+  }
+  return out;
+}
+
+Tensor& ReconstructionDecoder::InferForward(const Tensor& z,
+                                            InferenceContext& ctx) const {
+  return readout_->InferForward(mlp_->InferForward(z, ctx), ctx);
+}
+
 DquagModel::DquagModel(const FeatureGraph& graph, const DquagConfig& config,
                        Rng& rng)
     : num_features_(graph.num_nodes()) {
@@ -55,11 +87,12 @@ DquagModel::DquagModel(const FeatureGraph& graph, const DquagConfig& config,
   RegisterModule(repair_decoder_.get());
 }
 
-DquagForward DquagModel::Forward(const VarPtr& x) const {
+DquagForward DquagModel::Forward(const VarPtr& x,
+                                 AttentionRecorder* recorder) const {
   DQUAG_CHECK_EQ(x->value().ndim(), 2);
   DQUAG_CHECK_EQ(x->value().dim(1), num_features_);
   VarPtr tokens = tokenizer_->Forward(x);
-  VarPtr z = encoder_->Forward(tokens, x);
+  VarPtr z = encoder_->Forward(tokens, x, recorder);
   DquagForward out;
   out.embeddings = z;
   out.validation = validation_decoder_->Forward(z);
@@ -67,7 +100,67 @@ DquagForward DquagModel::Forward(const VarPtr& x) const {
   return out;
 }
 
+const Tensor& DquagModel::InferReconstruction(
+    const Tensor& x, InferenceContext& ctx,
+    const ReconstructionDecoder& decoder) const {
+  DQUAG_CHECK_EQ(x.ndim(), 2);
+  DQUAG_CHECK_EQ(x.dim(1), num_features_);
+  const int64_t rows = x.dim(0);
+  // Rows are independent along the batch axis, so large batches run in
+  // fixed blocks whose workspaces ([block, d, h] intermediates) stay
+  // cache-resident — the preallocated arena makes per-block dispatch free,
+  // which the allocating tape path could not afford.
+  constexpr int64_t kRowBlock = 256;
+  // Graph2Vec consumes the raw rows directly; skip the (discarded)
+  // tokenizer pass for it.
+  const bool tokenize =
+      encoder_->config().kind != EncoderKind::kGraph2Vec;
+  if (rows <= kRowBlock) {
+    const Tensor& tokens = tokenize ? tokenizer_->InferForward(x, ctx) : x;
+    Tensor& z = encoder_->InferForward(tokens, x, ctx);
+    return decoder.InferForward(z, ctx);
+  }
+  Tensor& out = ctx.Acquire({rows, num_features_});
+  const size_t mark = ctx.Mark();
+  for (int64_t start = 0; start < rows; start += kRowBlock) {
+    const int64_t end = std::min(rows, start + kRowBlock);
+    ctx.RewindTo(mark);
+    Tensor& block = ctx.Acquire({end - start, num_features_});
+    std::copy(x.data() + start * num_features_, x.data() + end * num_features_,
+              block.data());
+    const Tensor& tokens =
+        tokenize ? tokenizer_->InferForward(block, ctx) : block;
+    Tensor& z = encoder_->InferForward(tokens, block, ctx);
+    const Tensor& head = decoder.InferForward(z, ctx);
+    std::copy(head.data(), head.data() + head.numel(),
+              out.data() + start * num_features_);
+  }
+  return out;
+}
+
+const Tensor& DquagModel::InferValidation(const Tensor& x,
+                                          InferenceContext& ctx) const {
+  return InferReconstruction(x, ctx, *validation_decoder_);
+}
+
+const Tensor& DquagModel::InferRepair(const Tensor& x,
+                                      InferenceContext& ctx) const {
+  return InferReconstruction(x, ctx, *repair_decoder_);
+}
+
 Tensor DquagModel::ReconstructValidation(const Tensor& x) const {
+  InferenceContext& ctx = InferenceContext::ThreadLocal();
+  ctx.Rewind();
+  return InferValidation(x, ctx);
+}
+
+Tensor DquagModel::ReconstructRepair(const Tensor& x) const {
+  InferenceContext& ctx = InferenceContext::ThreadLocal();
+  ctx.Rewind();
+  return InferRepair(x, ctx);
+}
+
+Tensor DquagModel::ReconstructValidationTape(const Tensor& x) const {
   NoGradGuard no_grad;
   VarPtr input = MakeVar(x);
   VarPtr tokens = tokenizer_->Forward(input);
@@ -75,7 +168,7 @@ Tensor DquagModel::ReconstructValidation(const Tensor& x) const {
   return validation_decoder_->Forward(z)->value();
 }
 
-Tensor DquagModel::ReconstructRepair(const Tensor& x) const {
+Tensor DquagModel::ReconstructRepairTape(const Tensor& x) const {
   NoGradGuard no_grad;
   VarPtr input = MakeVar(x);
   VarPtr tokens = tokenizer_->Forward(input);

@@ -30,6 +30,9 @@ class FeatureDetokenizer : public Module {
   /// z: [B, d, h] -> [B, d].
   VarPtr Forward(const VarPtr& z) const;
 
+  /// Tape-free forward: one fused dot-product pass into the workspace.
+  Tensor& InferForward(const Tensor& z, InferenceContext& ctx) const;
+
  private:
   int64_t num_features_;
   int64_t embedding_dim_;
@@ -45,6 +48,9 @@ class ReconstructionDecoder : public Module {
 
   /// z: [B, d, h] -> [B, d].
   VarPtr Forward(const VarPtr& z) const;
+
+  /// Tape-free forward through the shared MLP and the read-out.
+  Tensor& InferForward(const Tensor& z, InferenceContext& ctx) const;
 
  private:
   std::unique_ptr<Mlp> mlp_;
@@ -63,18 +69,45 @@ class DquagModel : public Module {
   DquagModel(const FeatureGraph& graph, const DquagConfig& config, Rng& rng);
 
   /// Full forward through both decoders. `x` is [B, d] preprocessed rows.
-  DquagForward Forward(const VarPtr& x) const;
+  /// With a recorder, GAT layers snapshot their attention (diagnostics).
+  DquagForward Forward(const VarPtr& x,
+                       AttentionRecorder* recorder = nullptr) const;
 
-  /// Tape-free reconstruction of the validation head: [B, d] -> [B, d].
+  // ---- Tape-free inference engine -----------------------------------------
+  //
+  // The Infer* methods run entirely on `ctx` workspaces: no tape nodes, no
+  // allocation after warm-up, fused message-passing kernels. The caller
+  // owns the pass lifetime: ctx.Rewind() once before staging inputs /
+  // calling, and treat results as valid until the next Rewind. One context
+  // per thread (InferenceContext::ThreadLocal()) makes concurrent
+  // inference on a shared fitted model race-free.
+
+  /// Engine forward of the validation head: [B, d] -> [B, d].
+  const Tensor& InferValidation(const Tensor& x, InferenceContext& ctx) const;
+
+  /// Engine forward of the repair head: [B, d] -> [B, d].
+  const Tensor& InferRepair(const Tensor& x, InferenceContext& ctx) const;
+
+  /// Convenience wrappers over the engine using the calling thread's
+  /// context; the result is copied out so it survives later passes.
   Tensor ReconstructValidation(const Tensor& x) const;
-
-  /// Tape-free reconstruction of the repair head.
   Tensor ReconstructRepair(const Tensor& x) const;
+
+  /// Tape-path reference reconstructions (NoGrad, allocating): what the
+  /// engine is asserted against in tests and benchmarked against.
+  Tensor ReconstructValidationTape(const Tensor& x) const;
+  Tensor ReconstructRepairTape(const Tensor& x) const;
 
   int64_t num_features() const { return num_features_; }
   const GnnEncoder& encoder() const { return *encoder_; }
 
  private:
+  /// Engine forward of one decoder head, cache-blocked: large batches run
+  /// in fixed row blocks so every workspace stays cache-resident (rows are
+  /// independent, so blocking does not change results).
+  const Tensor& InferReconstruction(const Tensor& x, InferenceContext& ctx,
+                                    const ReconstructionDecoder& decoder) const;
+
   int64_t num_features_;
   std::unique_ptr<FeatureTokenizer> tokenizer_;
   std::unique_ptr<GnnEncoder> encoder_;

@@ -12,8 +12,10 @@ QualityMonitor::QualityMonitor(const DquagPipeline* pipeline,
 }
 
 MonitorObservation QualityMonitor::Observe(const Table& batch) {
-  const BatchVerdict verdict = pipeline_->Validate(batch);
+  return ObserveVerdict(pipeline_->Validate(batch));
+}
 
+MonitorObservation QualityMonitor::ObserveVerdict(const BatchVerdict& verdict) {
   if (!ewma_initialized_) {
     ewma_ = verdict.flagged_fraction;
     ewma_initialized_ = true;

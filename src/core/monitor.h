@@ -46,6 +46,10 @@ class QualityMonitor {
   /// Validates the batch and updates the stream state.
   MonitorObservation Observe(const Table& batch);
 
+  /// Updates the stream state from an already-computed verdict (used by
+  /// the ValidationService, which validates in parallel before reporting).
+  MonitorObservation ObserveVerdict(const BatchVerdict& verdict);
+
   /// All observations so far, oldest first.
   const std::vector<MonitorObservation>& history() const { return history_; }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "engine/inference_context.h"
+
 namespace dquag {
 
 Repairer::Repairer(const DquagModel* model,
@@ -21,6 +23,7 @@ Tensor Repairer::RepairMatrix(const Tensor& matrix,
 
   Tensor repaired = matrix;
   int64_t repaired_cells = 0;
+  InferenceContext& ctx = InferenceContext::ThreadLocal();
   const int64_t chunk = config_.inference_chunk_rows;
   for (int64_t start = 0; start < rows; start += chunk) {
     const int64_t end = std::min(rows, start + chunk);
@@ -30,10 +33,11 @@ Tensor Repairer::RepairMatrix(const Tensor& matrix,
       any = verdict.instances[static_cast<size_t>(r)].flagged;
     }
     if (!any) continue;
-    Tensor slice({end - start, d});
+    ctx.Rewind();
+    Tensor& slice = ctx.Acquire({end - start, d});
     std::copy(matrix.data() + start * d, matrix.data() + end * d,
               slice.data());
-    Tensor suggestion = model_->ReconstructRepair(slice);
+    const Tensor& suggestion = model_->InferRepair(slice, ctx);
     for (int64_t r = start; r < end; ++r) {
       const InstanceVerdict& inst =
           verdict.instances[static_cast<size_t>(r)];

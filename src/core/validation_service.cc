@@ -1,0 +1,122 @@
+#include "core/validation_service.h"
+
+#include <algorithm>
+#include <condition_variable>
+
+#include "engine/inference_context.h"
+#include "util/thread_pool.h"
+
+namespace dquag {
+
+ValidationService::ValidationService(DquagPipeline pipeline,
+                                     ValidationServiceOptions options)
+    : pipeline_(std::move(pipeline)),
+      options_(options),
+      monitor_(&pipeline_, options.monitor) {
+  DQUAG_CHECK(pipeline_.fitted());
+  DQUAG_CHECK_GT(options_.micro_batch_rows, 0);
+}
+
+StatusOr<std::unique_ptr<ValidationService>> ValidationService::FromCheckpoint(
+    const std::string& path, ValidationServiceOptions options) {
+  auto pipeline = DquagPipeline::Load(path);
+  if (!pipeline.ok()) return pipeline.status();
+  return std::make_unique<ValidationService>(std::move(pipeline).value(),
+                                             options);
+}
+
+BatchVerdict ValidationService::Validate(const Table& batch) const {
+  return ValidateMatrix(pipeline_.preprocessor().Transform(batch));
+}
+
+BatchVerdict ValidationService::ValidateMatrix(const Tensor& matrix) const {
+  DQUAG_CHECK_EQ(matrix.ndim(), 2);
+  const int64_t rows = matrix.dim(0);
+  const Validator& validator = pipeline_.validator();
+
+  BatchVerdict verdict;
+  verdict.threshold = validator.threshold();
+  verdict.instances.resize(static_cast<size_t>(rows));
+
+  const int64_t micro = options_.micro_batch_rows;
+  const int64_t num_chunks = micro > 0 ? (rows + micro - 1) / micro : 0;
+  if (num_chunks <= 1 || InsidePoolWorker()) {
+    // Degrade gracefully: one chunk, or a caller that is itself a pool
+    // worker (fanning out would wait on the pool from inside it).
+    if (rows > 0) {
+      validator.ValidateRowsInto(matrix, 0, rows,
+                                 InferenceContext::ThreadLocal(),
+                                 verdict.instances.data());
+    }
+  } else {
+    // Fan the chunks across the shared pool and wait on a private latch —
+    // not ThreadPool::Wait(), which would couple concurrent callers.
+    std::mutex mutex;
+    std::condition_variable done;
+    int64_t remaining = num_chunks;
+    ThreadPool& pool = GlobalThreadPool();
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      const int64_t lo = c * micro;
+      const int64_t hi = std::min(rows, lo + micro);
+      pool.Submit([&, lo, hi] {
+        validator.ValidateRowsInto(matrix, lo, hi,
+                                   InferenceContext::ThreadLocal(),
+                                   verdict.instances.data() + lo);
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--remaining == 0) done.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [&] { return remaining == 0; });
+  }
+
+  validator.FinalizeVerdict(verdict);
+
+  batches_validated_.fetch_add(1, std::memory_order_relaxed);
+  rows_validated_.fetch_add(rows, std::memory_order_relaxed);
+  rows_flagged_.fetch_add(static_cast<int64_t>(verdict.flagged_rows.size()),
+                          std::memory_order_relaxed);
+  if (verdict.is_dirty) dirty_batches_.fetch_add(1, std::memory_order_relaxed);
+  return verdict;
+}
+
+RepairResult ValidationService::Repair(const Table& batch,
+                                       const BatchVerdict& verdict) const {
+  RepairResult result = pipeline_.Repair(batch, verdict);
+  batches_repaired_.fetch_add(1, std::memory_order_relaxed);
+  cells_repaired_.fetch_add(result.cells_repaired, std::memory_order_relaxed);
+  return result;
+}
+
+RepairResult ValidationService::ValidateAndRepair(const Table& batch) const {
+  return Repair(batch, Validate(batch));
+}
+
+MonitorObservation ValidationService::Observe(const Table& batch) {
+  const BatchVerdict verdict = Validate(batch);
+  std::lock_guard<std::mutex> lock(monitor_mutex_);
+  return monitor_.ObserveVerdict(verdict);
+}
+
+bool ValidationService::alarming() const {
+  std::lock_guard<std::mutex> lock(monitor_mutex_);
+  return monitor_.alarming();
+}
+
+std::vector<MonitorObservation> ValidationService::monitor_history() const {
+  std::lock_guard<std::mutex> lock(monitor_mutex_);
+  return monitor_.history();
+}
+
+ValidationServiceStats ValidationService::stats() const {
+  ValidationServiceStats s;
+  s.batches_validated = batches_validated_.load(std::memory_order_relaxed);
+  s.rows_validated = rows_validated_.load(std::memory_order_relaxed);
+  s.rows_flagged = rows_flagged_.load(std::memory_order_relaxed);
+  s.dirty_batches = dirty_batches_.load(std::memory_order_relaxed);
+  s.batches_repaired = batches_repaired_.load(std::memory_order_relaxed);
+  s.cells_repaired = cells_repaired_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dquag

@@ -1,0 +1,112 @@
+// Concurrent Phase-2 serving layer over a fitted pipeline.
+//
+// A ValidationService owns a fitted (typically checkpoint-loaded) pipeline
+// and exposes thread-safe Validate / Repair / Observe entry points for
+// serving many concurrent callers. Incoming batches are micro-batched: rows
+// split into fixed-size chunks that fan out across the process-wide
+// ThreadPool, each chunk running the tape-free inference engine with its
+// worker thread's private workspace. Chunk workers write into disjoint
+// slices of the verdict, so they never contend; and because instances are
+// independent along the batch axis, the parallel verdict is identical to
+// serial validation.
+//
+//   auto service = ValidationService::FromCheckpoint("model.ckpt");
+//   // from any number of threads:
+//   BatchVerdict v = (*service)->Validate(incoming);
+//   RepairResult r = (*service)->Repair(incoming, v);
+//   MonitorObservation o = (*service)->Observe(incoming);  // streamed
+
+#ifndef DQUAG_CORE_VALIDATION_SERVICE_H_
+#define DQUAG_CORE_VALIDATION_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/monitor.h"
+#include "core/pipeline.h"
+
+namespace dquag {
+
+struct ValidationServiceOptions {
+  /// Rows per fan-out chunk. Smaller chunks parallelize better and stay
+  /// cache-resident; larger chunks amortize dispatch. 512 rows of a
+  /// hidden-64 model keep every workspace comfortably inside L2.
+  int64_t micro_batch_rows = 512;
+  /// Stream-monitoring knobs for Observe().
+  MonitorOptions monitor;
+};
+
+/// Monotonic service counters (atomically maintained; read with stats()).
+struct ValidationServiceStats {
+  int64_t batches_validated = 0;
+  int64_t rows_validated = 0;
+  int64_t rows_flagged = 0;
+  int64_t dirty_batches = 0;
+  int64_t batches_repaired = 0;
+  int64_t cells_repaired = 0;
+};
+
+class ValidationService {
+ public:
+  /// Takes ownership of a fitted pipeline (checked).
+  explicit ValidationService(DquagPipeline pipeline,
+                             ValidationServiceOptions options = {});
+
+  /// Loads a checkpoint written by DquagPipeline::Save and serves it.
+  static StatusOr<std::unique_ptr<ValidationService>> FromCheckpoint(
+      const std::string& path, ValidationServiceOptions options = {});
+
+  ValidationService(const ValidationService&) = delete;
+  ValidationService& operator=(const ValidationService&) = delete;
+
+  /// Thread-safe batch validation (preprocess + parallel engine inference).
+  BatchVerdict Validate(const Table& batch) const;
+
+  /// Thread-safe validation of an already-preprocessed [B, d] matrix.
+  BatchVerdict ValidateMatrix(const Tensor& matrix) const;
+
+  /// Thread-safe repair of the cells flagged by `verdict`.
+  RepairResult Repair(const Table& batch, const BatchVerdict& verdict) const;
+
+  /// Validate + Repair in one call.
+  RepairResult ValidateAndRepair(const Table& batch) const;
+
+  /// Validates the batch and feeds the verdict into the streaming quality
+  /// monitor (EWMA over flagged fractions; see core/monitor.h). Inference
+  /// runs in parallel; only the monitor update itself is serialized.
+  MonitorObservation Observe(const Table& batch);
+
+  /// True if the monitor's last observation raised the sustained-degradation
+  /// alarm.
+  bool alarming() const;
+
+  /// Snapshot of the monitor's observation history, oldest first.
+  std::vector<MonitorObservation> monitor_history() const;
+
+  ValidationServiceStats stats() const;
+
+  const DquagPipeline& pipeline() const { return pipeline_; }
+  const ValidationServiceOptions& options() const { return options_; }
+
+ private:
+  DquagPipeline pipeline_;
+  ValidationServiceOptions options_;
+
+  mutable std::mutex monitor_mutex_;
+  QualityMonitor monitor_;  // guarded by monitor_mutex_
+
+  mutable std::atomic<int64_t> batches_validated_{0};
+  mutable std::atomic<int64_t> rows_validated_{0};
+  mutable std::atomic<int64_t> rows_flagged_{0};
+  mutable std::atomic<int64_t> dirty_batches_{0};
+  mutable std::atomic<int64_t> batches_repaired_{0};
+  mutable std::atomic<int64_t> cells_repaired_{0};
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_CORE_VALIDATION_SERVICE_H_

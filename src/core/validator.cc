@@ -27,72 +27,101 @@ BatchVerdict Validator::Validate(const Table& batch) const {
   return ValidateMatrix(preprocessor_->Transform(batch));
 }
 
-BatchVerdict Validator::ValidateMatrix(const Tensor& matrix) const {
+void Validator::ValidateRowsInto(const Tensor& matrix, int64_t start,
+                                 int64_t end, InferenceContext& ctx,
+                                 InstanceVerdict* out) const {
   DQUAG_CHECK_EQ(matrix.ndim(), 2);
   DQUAG_CHECK_EQ(matrix.dim(1), model_->num_features());
-  const int64_t rows = matrix.dim(0);
+  DQUAG_CHECK_GE(start, 0);
+  DQUAG_CHECK_LE(start, end);
+  DQUAG_CHECK_LE(end, matrix.dim(0));
   const int64_t d = matrix.dim(1);
 
-  BatchVerdict verdict;
-  verdict.threshold = threshold_;
-  verdict.instances.resize(static_cast<size_t>(rows));
+  ctx.Rewind();
+  Tensor& slice = ctx.Acquire({end - start, d});
+  std::copy(matrix.data() + start * d, matrix.data() + end * d, slice.data());
+  const Tensor& reconstructed = model_->InferValidation(slice, ctx);
 
-  const int64_t chunk = config_.inference_chunk_rows;
-  for (int64_t start = 0; start < rows; start += chunk) {
-    const int64_t end = std::min(rows, start + chunk);
-    Tensor slice({end - start, d});
-    std::copy(matrix.data() + start * d, matrix.data() + end * d,
-              slice.data());
-    Tensor reconstructed = model_->ReconstructValidation(slice);
-    Tensor feature_errors = PerFeatureErrors(reconstructed, slice);
-
-    for (int64_t r = 0; r < end - start; ++r) {
-      InstanceVerdict& inst =
-          verdict.instances[static_cast<size_t>(start + r)];
-      // Instance error = mean of per-feature errors (§3.1.4).
-      double mean = 0.0;
-      for (int64_t c = 0; c < d; ++c) mean += feature_errors(r, c);
-      mean /= static_cast<double>(d);
-      inst.error = mean;
-      inst.flagged = mean > threshold_;
-      if (!inst.flagged) continue;
-      verdict.flagged_rows.push_back(static_cast<size_t>(start + r));
-      // Feature-level outliers: e_ij > mu_i + k * sigma_i (§3.2.1). The
-      // maximum z-score attainable among d values is (d-1)/sqrt(d), so k is
-      // capped below that bound — otherwise the rule could never fire on
-      // low-dimensional tables (see DESIGN.md on the paper's k = 5).
-      double variance = 0.0;
-      for (int64_t c = 0; c < d; ++c) {
-        const double delta = feature_errors(r, c) - mean;
-        variance += delta * delta;
+  for (int64_t r = 0; r < end - start; ++r) {
+    InstanceVerdict& inst = out[r];
+    const float* pred = reconstructed.data() + r * d;
+    const float* target = slice.data() + r * d;
+    // Instance error = mean of per-feature squared errors (§3.1.4).
+    double mean = 0.0;
+    for (int64_t c = 0; c < d; ++c) {
+      const double delta = static_cast<double>(pred[c]) - target[c];
+      mean += delta * delta;
+    }
+    mean /= static_cast<double>(d);
+    inst.error = mean;
+    inst.flagged = mean > threshold_;
+    inst.suspect_features.clear();
+    if (!inst.flagged) continue;
+    // Feature-level outliers: e_ij > mu_i + k * sigma_i (§3.2.1). The
+    // maximum z-score attainable among d values is (d-1)/sqrt(d), so k is
+    // capped below that bound — otherwise the rule could never fire on
+    // low-dimensional tables (see DESIGN.md on the paper's k = 5).
+    auto feature_error = [&](int64_t c) {
+      const double delta = static_cast<double>(pred[c]) - target[c];
+      return delta * delta;
+    };
+    double variance = 0.0;
+    for (int64_t c = 0; c < d; ++c) {
+      const double delta = feature_error(c) - mean;
+      variance += delta * delta;
+    }
+    variance /= static_cast<double>(d);
+    const double max_z =
+        static_cast<double>(d - 1) / std::sqrt(static_cast<double>(d));
+    const double k = std::min(config_.feature_sigma_k, 0.8 * max_z);
+    const double cutoff = mean + k * std::sqrt(variance);
+    int64_t worst_feature = 0;
+    for (int64_t c = 0; c < d; ++c) {
+      if (feature_error(c) > feature_error(worst_feature)) {
+        worst_feature = c;
       }
-      variance /= static_cast<double>(d);
-      const double max_z = static_cast<double>(d - 1) /
-                           std::sqrt(static_cast<double>(d));
-      const double k = std::min(config_.feature_sigma_k, 0.8 * max_z);
-      const double cutoff = mean + k * std::sqrt(variance);
-      int64_t worst_feature = 0;
-      for (int64_t c = 0; c < d; ++c) {
-        if (feature_errors(r, c) > feature_errors(r, worst_feature)) {
-          worst_feature = c;
-        }
-        if (feature_errors(r, c) > cutoff) {
-          inst.suspect_features.push_back(c);
-        }
-      }
-      // A flagged instance always blames at least its worst feature so the
-      // repair phase has something to fix.
-      if (inst.suspect_features.empty()) {
-        inst.suspect_features.push_back(worst_feature);
+      if (feature_error(c) > cutoff) {
+        inst.suspect_features.push_back(c);
       }
     }
+    // A flagged instance always blames at least its worst feature so the
+    // repair phase has something to fix.
+    if (inst.suspect_features.empty()) {
+      inst.suspect_features.push_back(worst_feature);
+    }
   }
+}
 
+void Validator::FinalizeVerdict(BatchVerdict& verdict) const {
+  const size_t rows = verdict.instances.size();
+  verdict.flagged_rows.clear();
+  for (size_t r = 0; r < rows; ++r) {
+    if (verdict.instances[r].flagged) verdict.flagged_rows.push_back(r);
+  }
   verdict.flagged_fraction =
       rows == 0 ? 0.0
                 : static_cast<double>(verdict.flagged_rows.size()) /
                       static_cast<double>(rows);
   verdict.is_dirty = verdict.flagged_fraction > batch_cutoff();
+}
+
+BatchVerdict Validator::ValidateMatrix(const Tensor& matrix) const {
+  DQUAG_CHECK_EQ(matrix.ndim(), 2);
+  DQUAG_CHECK_EQ(matrix.dim(1), model_->num_features());
+  const int64_t rows = matrix.dim(0);
+
+  BatchVerdict verdict;
+  verdict.threshold = threshold_;
+  verdict.instances.resize(static_cast<size_t>(rows));
+
+  InferenceContext& ctx = InferenceContext::ThreadLocal();
+  const int64_t chunk = config_.inference_chunk_rows;
+  for (int64_t start = 0; start < rows; start += chunk) {
+    const int64_t end = std::min(rows, start + chunk);
+    ValidateRowsInto(matrix, start, end, ctx,
+                     verdict.instances.data() + start);
+  }
+  FinalizeVerdict(verdict);
   return verdict;
 }
 
@@ -100,16 +129,24 @@ std::vector<double> Validator::ComputeErrors(const Tensor& matrix) const {
   const int64_t rows = matrix.dim(0);
   const int64_t d = matrix.dim(1);
   std::vector<double> errors(static_cast<size_t>(rows));
+  InferenceContext& ctx = InferenceContext::ThreadLocal();
   const int64_t chunk = config_.inference_chunk_rows;
   for (int64_t start = 0; start < rows; start += chunk) {
     const int64_t end = std::min(rows, start + chunk);
-    Tensor slice({end - start, d});
+    ctx.Rewind();
+    Tensor& slice = ctx.Acquire({end - start, d});
     std::copy(matrix.data() + start * d, matrix.data() + end * d,
               slice.data());
-    Tensor reconstructed = model_->ReconstructValidation(slice);
-    Tensor per_sample = PerSampleErrors(reconstructed, slice);
+    const Tensor& reconstructed = model_->InferValidation(slice, ctx);
     for (int64_t r = 0; r < end - start; ++r) {
-      errors[static_cast<size_t>(start + r)] = per_sample[r];
+      const float* pred = reconstructed.data() + r * d;
+      const float* target = slice.data() + r * d;
+      double mean = 0.0;
+      for (int64_t c = 0; c < d; ++c) {
+        const double delta = static_cast<double>(pred[c]) - target[c];
+        mean += delta * delta;
+      }
+      errors[static_cast<size_t>(start + r)] = mean / static_cast<double>(d);
     }
   }
   return errors;

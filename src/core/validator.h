@@ -6,8 +6,9 @@
 //   * batch flagged      <=> flagged fraction > 5% * n  (n = 1.2)
 //   * feature flagged    <=> its error > mu_i + k * sigma_i within the
 //                            flagged instance
-// Validation is tape-free and chunked; chunks run through the thread-pool
-// parallel tensor kernels, which is what gives the linear scaling of Fig. 4.
+// Validation runs on the tape-free inference engine in fixed-size chunks;
+// rows are independent along the batch axis, so any chunking (serial or the
+// ValidationService's parallel micro-batches) produces identical verdicts.
 
 #ifndef DQUAG_CORE_VALIDATOR_H_
 #define DQUAG_CORE_VALIDATOR_H_
@@ -18,6 +19,7 @@
 #include "core/error_stats.h"
 #include "core/model.h"
 #include "data/preprocessor.h"
+#include "engine/inference_context.h"
 
 namespace dquag {
 
@@ -51,6 +53,20 @@ class Validator {
 
   /// Validates an already-preprocessed matrix [B, d].
   BatchVerdict ValidateMatrix(const Tensor& matrix) const;
+
+  /// Engine-path validation of rows [start, end) of `matrix`, writing the
+  /// per-instance verdicts into out[0 .. end-start). `ctx` is the calling
+  /// thread's workspace (rewound internally). Thread-safe for disjoint row
+  /// ranges over one fitted model — the fan-out primitive of the
+  /// ValidationService.
+  void ValidateRowsInto(const Tensor& matrix, int64_t start, int64_t end,
+                        InferenceContext& ctx, InstanceVerdict* out) const;
+
+  /// Derives the batch-level verdict fields (flagged_rows, fraction,
+  /// is_dirty) from already-filled per-instance verdicts. Shared by serial
+  /// validation and the ValidationService's parallel path so the
+  /// dirty-batch rule lives in exactly one place.
+  void FinalizeVerdict(BatchVerdict& verdict) const;
 
   /// Per-instance reconstruction errors only (used by benchmarks).
   std::vector<double> ComputeErrors(const Tensor& matrix) const;

@@ -1,0 +1,27 @@
+#include "engine/inference_context.h"
+
+namespace dquag {
+
+Tensor& InferenceContext::Acquire(Shape shape) {
+  if (cursor_ == buffers_.size()) {
+    buffers_.push_back(std::make_unique<Tensor>());
+  }
+  Tensor& t = *buffers_[cursor_++];
+  t.ResizeInPlace(std::move(shape));
+  return t;
+}
+
+int64_t InferenceContext::capacity_floats() const {
+  int64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += static_cast<int64_t>(buffer->vec().capacity());
+  }
+  return total;
+}
+
+InferenceContext& InferenceContext::ThreadLocal() {
+  thread_local InferenceContext context;
+  return context;
+}
+
+}  // namespace dquag

@@ -34,6 +34,13 @@ GnnEncoder::GnnEncoder(const FeatureGraph& graph, GnnEncoderConfig config,
     RegisterModule(graph2vec_.get());
     return;
   }
+  // One shared self-looped copy for the loop-wanting layer families (GCN,
+  // GAT): its GCN normalization and CSR arc order are computed once and
+  // cached for the whole stack instead of once per layer. GIN keeps the
+  // raw graph — its center node enters through the (1 + ε) term.
+  FeatureGraph looped = graph;
+  looped.AddSelfLoops();
+
   // Alternating stacks: even layer index takes the first family, odd the
   // second (pure GCN repeats GCN).
   for (int64_t i = 0; i < config_.num_layers; ++i) {
@@ -41,26 +48,26 @@ GnnEncoder::GnnEncoder(const FeatureGraph& graph, GnnEncoderConfig config,
     std::unique_ptr<GnnLayer> layer;
     switch (config_.kind) {
       case EncoderKind::kGcn:
-        layer = std::make_unique<GcnLayer>(graph, h, h, rng);
+        layer = std::make_unique<GcnLayer>(looped, h, h, rng);
         break;
       case EncoderKind::kGcnGat:
         if (even) {
-          layer = std::make_unique<GcnLayer>(graph, h, h, rng);
+          layer = std::make_unique<GcnLayer>(looped, h, h, rng);
         } else {
-          layer = std::make_unique<GatLayer>(graph, h, h, config_.num_heads,
+          layer = std::make_unique<GatLayer>(looped, h, h, config_.num_heads,
                                              rng);
         }
         break;
       case EncoderKind::kGcnGin:
         if (even) {
-          layer = std::make_unique<GcnLayer>(graph, h, h, rng);
+          layer = std::make_unique<GcnLayer>(looped, h, h, rng);
         } else {
           layer = std::make_unique<GinLayer>(graph, h, h, rng);
         }
         break;
       case EncoderKind::kGatGin:
         if (even) {
-          layer = std::make_unique<GatLayer>(graph, h, h, config_.num_heads,
+          layer = std::make_unique<GatLayer>(looped, h, h, config_.num_heads,
                                              rng);
         } else {
           layer = std::make_unique<GinLayer>(graph, h, h, rng);
@@ -74,16 +81,37 @@ GnnEncoder::GnnEncoder(const FeatureGraph& graph, GnnEncoderConfig config,
   }
 }
 
-VarPtr GnnEncoder::Forward(const VarPtr& tokens, const VarPtr& raw_rows) const {
+VarPtr GnnEncoder::Forward(const VarPtr& tokens, const VarPtr& raw_rows,
+                           AttentionRecorder* recorder) const {
   if (graph2vec_) return graph2vec_->Forward(raw_rows);
   VarPtr h = tokens;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i]->Forward(h);
+    if (const auto* gat = dynamic_cast<const GatLayer*>(layers_[i].get());
+        gat != nullptr && recorder != nullptr) {
+      h = gat->Forward(h, recorder);
+    } else {
+      h = layers_[i]->Forward(h);
+    }
     if (i + 1 < layers_.size()) {
       h = ApplyActivation(h, config_.activation);
     }
   }
   return h;
+}
+
+Tensor& GnnEncoder::InferForward(const Tensor& tokens, const Tensor& raw_rows,
+                                 InferenceContext& ctx) const {
+  if (graph2vec_) return graph2vec_->InferForward(raw_rows, ctx);
+  const Tensor* h = &tokens;
+  Tensor* out = nullptr;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    out = &layers_[i]->InferForward(*h, ctx);
+    if (i + 1 < layers_.size()) {
+      ApplyActivationInPlace(*out, config_.activation);
+    }
+    h = out;
+  }
+  return *out;
 }
 
 std::vector<const GatLayer*> GnnEncoder::gat_layers() const {

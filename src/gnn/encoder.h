@@ -49,8 +49,16 @@ class GnnEncoder : public Module {
   GnnEncoder(const FeatureGraph& graph, GnnEncoderConfig config, Rng& rng);
 
   /// tokens: [B, N, H] tokenized node features; raw_rows: [B, N] raw
-  /// preprocessed values (used only by the Graph2Vec variant).
-  VarPtr Forward(const VarPtr& tokens, const VarPtr& raw_rows) const;
+  /// preprocessed values (used only by the Graph2Vec variant). When a
+  /// recorder is passed, every GAT layer snapshots its attention (opt-in
+  /// diagnostic; the default path records nothing).
+  VarPtr Forward(const VarPtr& tokens, const VarPtr& raw_rows,
+                 AttentionRecorder* recorder = nullptr) const;
+
+  /// Tape-free forward through the stack; activations run in place on the
+  /// workspace buffers.
+  Tensor& InferForward(const Tensor& tokens, const Tensor& raw_rows,
+                       InferenceContext& ctx) const;
 
   const GnnEncoderConfig& config() const { return config_; }
 

@@ -5,6 +5,13 @@
 
 namespace dquag {
 
+AttentionRecorder::LayerAttention& AttentionRecorder::StartLayer(
+    const GatLayer* layer) {
+  layers_.emplace_back();
+  layers_.back().layer = layer;
+  return layers_.back();
+}
+
 GatLayer::GatLayer(const FeatureGraph& graph, int64_t in_dim, int64_t out_dim,
                    int64_t num_heads, Rng& rng, float leaky_slope)
     : in_dim_(in_dim),
@@ -14,11 +21,22 @@ GatLayer::GatLayer(const FeatureGraph& graph, int64_t in_dim, int64_t out_dim,
       num_nodes_(graph.num_nodes()),
       leaky_slope_(leaky_slope) {
   DQUAG_CHECK_EQ(head_dim_ * num_heads_, out_dim_);
-  // GAT attends over neighbours and the node itself.
-  FeatureGraph looped = graph;
-  looped.AddSelfLoops();
-  src_ = looped.src();
-  dst_ = looped.dst();
+  // GAT attends over neighbours and the node itself. Reuse the caller's
+  // graph (and its cached CSR order) when it is already self-looped.
+  auto take = [&](const FeatureGraph& g) {
+    src_ = g.src();
+    dst_ = g.dst();
+    const FeatureGraph::CsrByDst& csr = g.csr_by_dst();
+    csr_offsets_ = csr.offsets;
+    csr_order_ = csr.order;
+  };
+  if (graph.has_self_loops()) {
+    take(graph);
+  } else {
+    FeatureGraph looped = graph;
+    looped.AddSelfLoops();
+    take(looped);
+  }
   for (int64_t k = 0; k < num_heads_; ++k) {
     const std::string suffix = "_h" + std::to_string(k);
     head_weights_.push_back(RegisterParameter(
@@ -32,12 +50,18 @@ GatLayer::GatLayer(const FeatureGraph& graph, int64_t in_dim, int64_t out_dim,
 }
 
 VarPtr GatLayer::Forward(const VarPtr& node_features) const {
+  return Forward(node_features, /*recorder=*/nullptr);
+}
+
+VarPtr GatLayer::Forward(const VarPtr& node_features,
+                         AttentionRecorder* recorder) const {
   DQUAG_CHECK_EQ(node_features->value().dim(-1), in_dim_);
   const bool batched = node_features->value().ndim() == 3;
   const int64_t batch = batched ? node_features->value().dim(0) : 1;
   const int64_t num_arcs = static_cast<int64_t>(src_.size());
 
-  last_attention_.assign(static_cast<size_t>(num_heads_), {});
+  AttentionRecorder::LayerAttention* snapshot =
+      recorder != nullptr ? &recorder->StartLayer(this) : nullptr;
   std::vector<VarPtr> head_outputs;
   head_outputs.reserve(static_cast<size_t>(num_heads_));
   for (int64_t k = 0; k < num_heads_; ++k) {
@@ -55,14 +79,9 @@ VarPtr GatLayer::Forward(const VarPtr& node_features) const {
     Shape flat_shape = batched ? Shape{batch, num_arcs} : Shape{num_arcs};
     VarPtr alpha = ag::SegmentSoftmaxAxis1(ag::Reshape(scores, flat_shape),
                                            dst_, num_nodes_);
-    // Record attention of the first batch element for diagnostics.
-    {
-      std::vector<float>& snapshot = last_attention_[ki];
-      snapshot.resize(static_cast<size_t>(num_arcs));
+    if (snapshot != nullptr) {
       const float* pa = alpha->value().data();
-      for (int64_t e = 0; e < num_arcs; ++e) {
-        snapshot[static_cast<size_t>(e)] = pa[e];
-      }
+      snapshot->heads.emplace_back(pa, pa + num_arcs);
     }
     Shape alpha_shape =
         batched ? Shape{batch, num_arcs, 1} : Shape{num_arcs, 1};
@@ -75,6 +94,38 @@ VarPtr GatLayer::Forward(const VarPtr& node_features) const {
                         ? head_outputs[0]
                         : ag::Concat(head_outputs, /*axis=*/-1);
   return ag::Add(combined, bias_);
+}
+
+Tensor& GatLayer::InferForward(const Tensor& node_features,
+                               InferenceContext& ctx) const {
+  DQUAG_CHECK_EQ(node_features.dim(-1), in_dim_);
+  const bool batched = node_features.ndim() == 3;
+  const int64_t batch = batched ? node_features.dim(0) : 1;
+  const int64_t num_arcs = static_cast<int64_t>(src_.size());
+
+  Shape out_shape =
+      batched ? Shape{batch, num_nodes_, out_dim_} : Shape{num_nodes_, out_dim_};
+  Tensor& out = ctx.Acquire(std::move(out_shape));
+  // Seed with the bias; each head then accumulates its stripe in place
+  // (multi-head concat without a Concat copy).
+  BroadcastRowInto(bias_->value(), out);
+  Shape proj_shape = batched ? Shape{batch, num_nodes_, head_dim_}
+                             : Shape{num_nodes_, head_dim_};
+  for (int64_t k = 0; k < num_heads_; ++k) {
+    const size_t ki = static_cast<size_t>(k);
+    Tensor& projected = ctx.Acquire(proj_shape);
+    LinearInto(node_features, head_weights_[ki]->value(), nullptr, projected);
+    Tensor& logit_src = ctx.Acquire({batch, num_nodes_});
+    Tensor& logit_dst = ctx.Acquire({batch, num_nodes_});
+    DualMatVecInto(projected, attn_src_[ki]->value(), attn_dst_[ki]->value(),
+                   logit_src, logit_dst);
+    Tensor& alpha = ctx.Acquire({batch, num_arcs});
+    ArcScoreInto(logit_src, logit_dst, src_, dst_, leaky_slope_, alpha);
+    SegmentSoftmaxCsrInPlace(alpha, csr_offsets_, csr_order_);
+    AttentionScatterAddInto(projected, alpha, src_, dst_, out,
+                            /*col_offset=*/k * head_dim_);
+  }
+  return out;
 }
 
 }  // namespace dquag

@@ -6,6 +6,10 @@
 // Heads are concatenated (out_dim must be divisible by num_heads). The
 // paper's model uses GAT layers to learn edge importance automatically,
 // removing the need for manual edge weights in the feature graph (§3.1.2).
+//
+// Forward is const and side-effect free: attention coefficients are only
+// captured when the caller passes an AttentionRecorder explicitly, so
+// concurrent inference over one fitted layer is race-free.
 
 #ifndef DQUAG_GNN_GAT_LAYER_H_
 #define DQUAG_GNN_GAT_LAYER_H_
@@ -19,23 +23,53 @@
 
 namespace dquag {
 
+class GatLayer;
+
+/// Opt-in capture of post-softmax attention coefficients (diagnostics /
+/// interpretability). A recorder is single-use per forward pass: pass a
+/// fresh one (or Clear() it) to GnnEncoder::Forward / DquagModel::Forward
+/// and read the per-layer snapshots afterwards.
+class AttentionRecorder {
+ public:
+  struct LayerAttention {
+    const GatLayer* layer = nullptr;
+    /// One vector per head: α over the layer's arcs, first batch element.
+    std::vector<std::vector<float>> heads;
+  };
+
+  void Clear() { layers_.clear(); }
+  const std::vector<LayerAttention>& layers() const { return layers_; }
+
+  /// Appends (and returns) the snapshot slot for `layer`; called by
+  /// GatLayer::Forward when recording.
+  LayerAttention& StartLayer(const GatLayer* layer);
+
+ private:
+  std::vector<LayerAttention> layers_;
+};
+
 class GatLayer : public GnnLayer {
  public:
+  /// `graph` is used as-is when it already carries self-loops (sharing the
+  /// encoder's looped copy and its cached CSR order); otherwise a
+  /// self-looped copy is made internally.
   GatLayer(const FeatureGraph& graph, int64_t in_dim, int64_t out_dim,
            int64_t num_heads, Rng& rng, float leaky_slope = 0.2f);
 
   VarPtr Forward(const VarPtr& node_features) const override;
 
+  /// Forward that additionally snapshots the attention coefficients of the
+  /// first batch element into `recorder` (may be null).
+  VarPtr Forward(const VarPtr& node_features,
+                 AttentionRecorder* recorder) const;
+
+  Tensor& InferForward(const Tensor& node_features,
+                       InferenceContext& ctx) const override;
+
   int64_t in_dim() const override { return in_dim_; }
   int64_t out_dim() const override { return out_dim_; }
   int64_t num_heads() const { return num_heads_; }
 
-  /// Post-softmax attention coefficients of the last Forward call on the
-  /// first batch element, one vector per head (diagnostic; used by tests
-  /// and the interpretability example).
-  const std::vector<std::vector<float>>& last_attention() const {
-    return last_attention_;
-  }
   const std::vector<int32_t>& arc_src() const { return src_; }
   const std::vector<int32_t>& arc_dst() const { return dst_; }
 
@@ -48,11 +82,14 @@ class GatLayer : public GnnLayer {
   float leaky_slope_;
   std::vector<int32_t> src_;
   std::vector<int32_t> dst_;
+  // Arcs grouped by destination (from FeatureGraph::csr_by_dst): the order
+  // the fused segment-softmax kernel walks.
+  std::vector<int64_t> csr_offsets_;
+  std::vector<int32_t> csr_order_;
   std::vector<VarPtr> head_weights_;   // [in, head_dim] per head
   std::vector<VarPtr> attn_src_;       // [head_dim, 1] per head
   std::vector<VarPtr> attn_dst_;       // [head_dim, 1] per head
   VarPtr bias_;                        // [out]
-  mutable std::vector<std::vector<float>> last_attention_;
 };
 
 }  // namespace dquag

@@ -5,17 +5,35 @@
 
 namespace dquag {
 
+namespace {
+
+/// GCN propagates over neighbours plus self; reuse `graph` when the caller
+/// already looped it (sharing its cached normalization), else loop a copy.
+void InitGcnArcs(const FeatureGraph& graph, std::vector<int32_t>& src,
+                 std::vector<int32_t>& dst, Tensor& norm) {
+  auto take = [&](const FeatureGraph& g) {
+    src = g.src();
+    dst = g.dst();
+    const std::vector<float>& coefficients = g.GcnNormalization();
+    norm = Tensor({static_cast<int64_t>(coefficients.size()), 1},
+                  std::vector<float>(coefficients.begin(),
+                                     coefficients.end()));
+  };
+  if (graph.has_self_loops()) {
+    take(graph);
+  } else {
+    FeatureGraph looped = graph;
+    looped.AddSelfLoops();
+    take(looped);
+  }
+}
+
+}  // namespace
+
 GcnLayer::GcnLayer(const FeatureGraph& graph, int64_t in_dim, int64_t out_dim,
                    Rng& rng)
     : in_dim_(in_dim), out_dim_(out_dim), num_nodes_(graph.num_nodes()) {
-  // Work on a self-looped copy: GCN's propagation includes the node itself.
-  FeatureGraph looped = graph;
-  looped.AddSelfLoops();
-  src_ = looped.src();
-  dst_ = looped.dst();
-  const std::vector<float> coefficients = looped.GcnNormalization();
-  norm_ = Tensor({static_cast<int64_t>(coefficients.size()), 1},
-                 std::vector<float>(coefficients.begin(), coefficients.end()));
+  InitGcnArcs(graph, src_, dst_, norm_);
   weight_ = RegisterParameter("weight", XavierUniform(in_dim, out_dim, rng));
   bias_ = RegisterParameter("bias", Tensor::Zeros({out_dim}));
 }
@@ -27,6 +45,21 @@ VarPtr GcnLayer::Forward(const VarPtr& node_features) const {
   VarPtr scaled = ag::Mul(messages, MakeVar(norm_));        // per-arc scale
   VarPtr aggregated = ag::ScatterAddAxis1(scaled, dst_, num_nodes_);
   return ag::Add(aggregated, bias_);
+}
+
+Tensor& GcnLayer::InferForward(const Tensor& node_features,
+                               InferenceContext& ctx) const {
+  DQUAG_CHECK_EQ(node_features.dim(-1), in_dim_);
+  Shape shape = node_features.shape();
+  shape.back() = out_dim_;
+  Tensor& transformed = ctx.Acquire(shape);
+  LinearInto(node_features, weight_->value(), nullptr, transformed);
+  Tensor& out = ctx.Acquire(std::move(shape));
+  // Seed with the bias, then accumulate the normalized messages in a single
+  // fused pass (no [B, E, out] intermediate).
+  BroadcastRowInto(bias_->value(), out);
+  GatherScaleScatterAddInto(transformed, src_, dst_, norm_.data(), out);
+  return out;
 }
 
 }  // namespace dquag

@@ -17,10 +17,16 @@ namespace dquag {
 
 class GcnLayer : public GnnLayer {
  public:
+  /// `graph` is used as-is when it already carries self-loops (so an
+  /// encoder stack can share one looped copy and its cached normalization);
+  /// otherwise a self-looped copy is made internally.
   GcnLayer(const FeatureGraph& graph, int64_t in_dim, int64_t out_dim,
            Rng& rng);
 
   VarPtr Forward(const VarPtr& node_features) const override;
+
+  Tensor& InferForward(const Tensor& node_features,
+                       InferenceContext& ctx) const override;
 
   int64_t in_dim() const override { return in_dim_; }
   int64_t out_dim() const override { return out_dim_; }

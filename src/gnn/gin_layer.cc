@@ -27,4 +27,16 @@ VarPtr GinLayer::Forward(const VarPtr& node_features) const {
   return mlp_->Forward(ag::Add(center, neighbour_sum));
 }
 
+Tensor& GinLayer::InferForward(const Tensor& node_features,
+                               InferenceContext& ctx) const {
+  DQUAG_CHECK_EQ(node_features.dim(-1), in_dim_);
+  Tensor& aggregate = ctx.Acquire(node_features.shape());
+  // (1 + eps) * h seeds the buffer; the fused pass adds the neighbour
+  // multiset sum (unit arc weights) on top.
+  ScaleInto(node_features, 1.0f + epsilon_->value()[0], aggregate);
+  GatherScaleScatterAddInto(node_features, src_, dst_, /*coeff=*/nullptr,
+                            aggregate);
+  return mlp_->InferForward(aggregate, ctx);
+}
+
 }  // namespace dquag

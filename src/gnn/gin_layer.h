@@ -26,6 +26,9 @@ class GinLayer : public GnnLayer {
 
   VarPtr Forward(const VarPtr& node_features) const override;
 
+  Tensor& InferForward(const Tensor& node_features,
+                       InferenceContext& ctx) const override;
+
   int64_t in_dim() const override { return in_dim_; }
   int64_t out_dim() const override { return out_dim_; }
 

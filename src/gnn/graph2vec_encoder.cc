@@ -80,6 +80,36 @@ std::vector<float> Graph2VecEncoder::WlHistogram(const float* row) const {
   return histogram;
 }
 
+Tensor& Graph2VecEncoder::InferForward(const Tensor& x,
+                                       InferenceContext& ctx) const {
+  DQUAG_CHECK_EQ(x.ndim(), 2);
+  DQUAG_CHECK_EQ(x.dim(1), num_nodes_);
+  const int64_t batch = x.dim(0);
+
+  Tensor& histograms = ctx.Acquire({batch, config_.histogram_dim});
+  for (int64_t b = 0; b < batch; ++b) {
+    const std::vector<float> h = WlHistogram(x.data() + b * num_nodes_);
+    std::copy(h.begin(), h.end(),
+              histograms.data() + b * config_.histogram_dim);
+  }
+  Tensor& graph_embed = projection_->InferForward(histograms, ctx);  // [B, H]
+  Tensor& out = ctx.Acquire({batch, num_nodes_, out_dim_});
+  // out[b, v, :] = graph_embed[b, :] + node_embedding[v, :].
+  const float* pg = graph_embed.data();
+  const float* pn = node_embedding_->value().data();
+  float* po = out.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* g = pg + b * out_dim_;
+    float* dst = po + b * num_nodes_ * out_dim_;
+    for (int64_t v = 0; v < num_nodes_; ++v) {
+      const float* n = pn + v * out_dim_;
+      float* o = dst + v * out_dim_;
+      for (int64_t j = 0; j < out_dim_; ++j) o[j] = g[j] + n[j];
+    }
+  }
+  return out;
+}
+
 VarPtr Graph2VecEncoder::Forward(const VarPtr& x) const {
   DQUAG_CHECK_EQ(x->value().ndim(), 2);
   DQUAG_CHECK_EQ(x->value().dim(1), num_nodes_);

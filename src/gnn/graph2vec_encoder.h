@@ -37,6 +37,11 @@ class Graph2VecEncoder : public Module {
   /// x: raw preprocessed rows [B, N] (values in [0, 1]); returns [B, N, H].
   VarPtr Forward(const VarPtr& x) const;
 
+  /// Tape-free forward. The WL relabelling itself still allocates per-row
+  /// scratch (it is label hashing, not tensor math); the tensor pipeline
+  /// around it runs entirely in the workspace.
+  Tensor& InferForward(const Tensor& x, InferenceContext& ctx) const;
+
   /// Deterministic WL histogram of one row (exposed for tests): [hist_dim].
   std::vector<float> WlHistogram(const float* row) const;
 

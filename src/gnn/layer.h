@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "engine/inference_context.h"
 #include "graph/feature_graph.h"
 #include "nn/module.h"
 
@@ -20,6 +21,12 @@ class GnnLayer : public Module {
   ~GnnLayer() override = default;
 
   virtual VarPtr Forward(const VarPtr& node_features) const = 0;
+
+  /// Tape-free forward through fused gather/scatter kernels. The result
+  /// lives in `ctx` and stays valid until the context is rewound. Must be
+  /// numerically equivalent to Forward (within float reassociation).
+  virtual Tensor& InferForward(const Tensor& node_features,
+                               InferenceContext& ctx) const = 0;
 
   virtual int64_t in_dim() const = 0;
   virtual int64_t out_dim() const = 0;

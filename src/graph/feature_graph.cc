@@ -28,6 +28,7 @@ void FeatureGraph::AddUndirectedEdge(int32_t a, int32_t b) {
   dst_.push_back(b);
   src_.push_back(b);
   dst_.push_back(a);
+  InvalidateCaches();
 }
 
 void FeatureGraph::AddSelfLoops() {
@@ -37,6 +38,12 @@ void FeatureGraph::AddSelfLoops() {
     dst_.push_back(v);
   }
   has_self_loops_ = true;
+  InvalidateCaches();
+}
+
+void FeatureGraph::InvalidateCaches() const {
+  norm_cached_ = false;
+  csr_cached_ = false;
 }
 
 bool FeatureGraph::HasArc(int32_t a, int32_t b) const {
@@ -65,7 +72,8 @@ int64_t FeatureGraph::InDegree(int32_t node) const {
   return degree;
 }
 
-std::vector<float> FeatureGraph::GcnNormalization() const {
+const std::vector<float>& FeatureGraph::GcnNormalization() const {
+  if (norm_cached_) return norm_cache_;
   std::vector<int64_t> in_degree(static_cast<size_t>(num_nodes_), 0);
   for (int32_t d : dst_) ++in_degree[static_cast<size_t>(d)];
   std::vector<float> coefficients(src_.size());
@@ -74,7 +82,28 @@ std::vector<float> FeatureGraph::GcnNormalization() const {
     const double dd = std::max<int64_t>(1, in_degree[static_cast<size_t>(dst_[e])]);
     coefficients[e] = static_cast<float>(1.0 / std::sqrt(ds * dd));
   }
-  return coefficients;
+  norm_cache_ = std::move(coefficients);
+  norm_cached_ = true;
+  return norm_cache_;
+}
+
+const FeatureGraph::CsrByDst& FeatureGraph::csr_by_dst() const {
+  if (csr_cached_) return csr_cache_;
+  CsrByDst csr;
+  csr.offsets.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  for (int32_t d : dst_) ++csr.offsets[static_cast<size_t>(d) + 1];
+  for (size_t v = 1; v < csr.offsets.size(); ++v) {
+    csr.offsets[v] += csr.offsets[v - 1];
+  }
+  csr.order.resize(dst_.size());
+  std::vector<int64_t> fill(csr.offsets.begin(), csr.offsets.end() - 1);
+  for (size_t e = 0; e < dst_.size(); ++e) {
+    csr.order[static_cast<size_t>(
+        fill[static_cast<size_t>(dst_[e])]++)] = static_cast<int32_t>(e);
+  }
+  csr_cache_ = std::move(csr);
+  csr_cached_ = true;
+  return csr_cache_;
 }
 
 FeatureGraph FeatureGraph::Complete(int64_t num_nodes,
@@ -130,6 +159,7 @@ StatusOr<FeatureGraph> FeatureGraph::FromRelationships(
       g.dst_.push_back(v);
     }
   }
+  g.InvalidateCaches();
   return g;
 }
 

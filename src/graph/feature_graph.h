@@ -52,6 +52,8 @@ class FeatureGraph {
   int64_t num_arcs() const { return static_cast<int64_t>(src_.size()); }
   /// Number of nodes with at least one incident non-self arc.
   int64_t num_connected_nodes() const;
+  /// Whether AddSelfLoops has been applied.
+  bool has_self_loops() const { return has_self_loops_; }
 
   const std::vector<int32_t>& src() const { return src_; }
   const std::vector<int32_t>& dst() const { return dst_; }
@@ -60,9 +62,25 @@ class FeatureGraph {
   /// In-degree (arcs pointing at the node).
   int64_t InDegree(int32_t node) const;
 
+  /// Arcs grouped by destination node in CSR form: `offsets` has
+  /// num_nodes + 1 entries and order[offsets[v] .. offsets[v+1]) lists the
+  /// ids of the arcs whose dst is v, in ascending arc order. This is the
+  /// sorted-by-dst view the fused segment-softmax kernels consume.
+  struct CsrByDst {
+    std::vector<int64_t> offsets;
+    std::vector<int32_t> order;
+  };
+
   /// Per-arc symmetric GCN normalization 1/sqrt(deg(src) * deg(dst)), where
-  /// degrees count all arcs incident as destination. Recomputed on demand.
-  std::vector<float> GcnNormalization() const;
+  /// degrees count all arcs incident as destination. Computed once and
+  /// cached (edge mutations invalidate the cache). The first call on a
+  /// given graph is not thread-safe; layers take their copy at
+  /// construction, so the serving hot path never touches the cache.
+  const std::vector<float>& GcnNormalization() const;
+
+  /// Cached CSR-by-destination arc order (same caching contract as
+  /// GcnNormalization).
+  const CsrByDst& csr_by_dst() const;
 
   /// Fully connected graph (every distinct pair), the fallback when no
   /// relationship source is available.
@@ -82,11 +100,18 @@ class FeatureGraph {
   std::string ToString() const;
 
  private:
+  void InvalidateCaches() const;
+
   int64_t num_nodes_;
   std::vector<std::string> node_names_;
   std::vector<int32_t> src_;
   std::vector<int32_t> dst_;
   bool has_self_loops_ = false;
+  // Lazily computed derived views (see GcnNormalization / csr_by_dst).
+  mutable bool norm_cached_ = false;
+  mutable std::vector<float> norm_cache_;
+  mutable bool csr_cached_ = false;
+  mutable CsrByDst csr_cache_;
 };
 
 }  // namespace dquag

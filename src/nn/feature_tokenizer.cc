@@ -1,7 +1,10 @@
 #include "nn/feature_tokenizer.h"
 
+#include <algorithm>
+
 #include "autograd/ops.h"
 #include "nn/init.h"
+#include "util/thread_pool.h"
 
 namespace dquag {
 
@@ -21,6 +24,35 @@ VarPtr FeatureTokenizer::Forward(const VarPtr& x) const {
   // [B, d] -> [B, d, 1]; broadcasting against [d, h] yields [B, d, h].
   VarPtr x3 = ag::Reshape(x, {batch, num_features_, 1});
   return ag::Add(ag::Mul(x3, scale_), shift_);
+}
+
+Tensor& FeatureTokenizer::InferForward(const Tensor& x,
+                                       InferenceContext& ctx) const {
+  DQUAG_CHECK_EQ(x.ndim(), 2);
+  DQUAG_CHECK_EQ(x.dim(1), num_features_);
+  const int64_t batch = x.dim(0);
+  const int64_t d = num_features_;
+  const int64_t h = embedding_dim_;
+  Tensor& out = ctx.Acquire({batch, d, h});
+  const float* px = x.data();
+  const float* pu = scale_->value().data();
+  const float* pc = shift_->value().data();
+  float* po = out.data();
+  ParallelFor(0, static_cast<size_t>(batch),
+              [&](size_t b) {
+                const float* row = px + static_cast<int64_t>(b) * d;
+                float* dst = po + static_cast<int64_t>(b) * d * h;
+                for (int64_t f = 0; f < d; ++f) {
+                  const float v = row[f];
+                  const float* u = pu + f * h;
+                  const float* c = pc + f * h;
+                  float* o = dst + f * h;
+                  for (int64_t j = 0; j < h; ++j) o[j] = v * u[j] + c[j];
+                }
+              },
+              /*grain=*/static_cast<size_t>(
+                  std::max<int64_t>(1, (1 << 18) / std::max<int64_t>(1, d * h))));
+  return out;
 }
 
 }  // namespace dquag

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "engine/inference_context.h"
 #include "nn/module.h"
 #include "util/rng.h"
 
@@ -23,6 +24,9 @@ class FeatureTokenizer : public Module {
 
   /// x: [B, d] -> [B, d, h].
   VarPtr Forward(const VarPtr& x) const;
+
+  /// Tape-free forward: one fused scale-and-shift pass into a workspace.
+  Tensor& InferForward(const Tensor& x, InferenceContext& ctx) const;
 
   int64_t num_features() const { return num_features_; }
   int64_t embedding_dim() const { return embedding_dim_; }

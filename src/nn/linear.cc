@@ -22,6 +22,15 @@ VarPtr Linear::Forward(const VarPtr& x) const {
   return y;
 }
 
+Tensor& Linear::InferForward(const Tensor& x, InferenceContext& ctx) const {
+  DQUAG_CHECK_EQ(x.dim(-1), in_features_);
+  Shape out_shape = x.shape();
+  out_shape.back() = out_features_;
+  Tensor& out = ctx.Acquire(std::move(out_shape));
+  LinearInto(x, weight_->value(), bias_ ? &bias_->value() : nullptr, out);
+  return out;
+}
+
 Mlp::Mlp(const std::vector<int64_t>& layer_sizes, Activation activation,
          Rng& rng, bool activate_last)
     : activation_(activation), activate_last_(activate_last) {
@@ -42,6 +51,19 @@ VarPtr Mlp::Forward(const VarPtr& x) const {
     }
   }
   return h;
+}
+
+Tensor& Mlp::InferForward(const Tensor& x, InferenceContext& ctx) const {
+  const Tensor* in = &x;
+  Tensor* out = nullptr;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    out = &layers_[i]->InferForward(*in, ctx);
+    if (i + 1 < layers_.size() || activate_last_) {
+      ApplyActivationInPlace(*out, activation_);
+    }
+    in = out;
+  }
+  return *out;
 }
 
 }  // namespace dquag

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/inference_context.h"
 #include "nn/module.h"
 #include "util/rng.h"
 
@@ -19,6 +20,9 @@ class Linear : public Module {
          bool with_bias = true);
 
   VarPtr Forward(const VarPtr& x) const;
+
+  /// Tape-free forward into a workspace tensor (valid until ctx.Rewind()).
+  Tensor& InferForward(const Tensor& x, InferenceContext& ctx) const;
 
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
@@ -38,6 +42,9 @@ class Mlp : public Module {
       Rng& rng, bool activate_last = false);
 
   VarPtr Forward(const VarPtr& x) const;
+
+  /// Tape-free forward; activations are applied in place on the workspace.
+  Tensor& InferForward(const Tensor& x, InferenceContext& ctx) const;
 
  private:
   std::vector<std::unique_ptr<Linear>> layers_;

@@ -1,6 +1,9 @@
 #include "nn/module.h"
 
+#include <cmath>
+
 #include "autograd/ops.h"
+#include "tensor/fast_math.h"
 
 namespace dquag {
 
@@ -15,6 +18,36 @@ VarPtr ApplyActivation(const VarPtr& x, Activation act) {
   }
   DQUAG_CHECK(false);
   return x;
+}
+
+void ApplyActivationInPlace(Tensor& t, Activation act) {
+  if (act == Activation::kIdentity) return;
+  float* p = t.data();
+  const int64_t n = t.numel();
+  switch (act) {
+    case Activation::kIdentity:
+      break;
+    case Activation::kRelu:
+      for (int64_t i = 0; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+      break;
+    case Activation::kLeakyRelu:
+      for (int64_t i = 0; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.2f * p[i];
+      break;
+    case Activation::kElu:
+      // Same FastExpf as the tensor-op Elu so tape and engine agree. The
+      // unconditional exp keeps the loop branch-free (SIMD blend).
+      for (int64_t i = 0; i < n; ++i) {
+        const float e = FastExpf(p[i]) - 1.0f;
+        p[i] = p[i] > 0.0f ? p[i] : e;
+      }
+      break;
+    case Activation::kSigmoid:
+      for (int64_t i = 0; i < n; ++i) p[i] = 1.0f / (1.0f + std::exp(-p[i]));
+      break;
+    case Activation::kTanh:
+      for (int64_t i = 0; i < n; ++i) p[i] = std::tanh(p[i]);
+      break;
+  }
 }
 
 std::vector<VarPtr> Module::Parameters() const {

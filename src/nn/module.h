@@ -28,6 +28,10 @@ enum class Activation {
 /// Applies `act` to a Variable (tape-aware).
 VarPtr ApplyActivation(const VarPtr& x, Activation act);
 
+/// Applies `act` to a raw tensor in place (the engine's tape-free
+/// counterpart; kIdentity is a no-op).
+void ApplyActivationInPlace(Tensor& t, Activation act);
+
 /// Parameterized module base. Subclasses register parameters with
 /// RegisterParameter and sub-modules with RegisterModule; Parameters()
 /// returns the transitive closure.

@@ -136,6 +136,11 @@ Tensor Tensor::Reshape(Shape new_shape) const {
   return Tensor(std::move(new_shape), data_);
 }
 
+void Tensor::ResizeInPlace(Shape new_shape) {
+  data_.resize(static_cast<size_t>(ShapeNumel(new_shape)));
+  shape_ = std::move(new_shape);
+}
+
 void Tensor::Fill(float value) {
   for (float& v : data_) v = value;
 }

@@ -98,6 +98,14 @@ class Tensor {
   /// At most one dimension may be -1 (inferred).
   Tensor Reshape(Shape new_shape) const;
 
+  /// Re-shapes this tensor in place, resizing the buffer to the implied
+  /// element count. Capacity is retained when shrinking, so a tensor that
+  /// has reached its high-water size never reallocates again — the
+  /// workspace primitive of the inference engine. Newly exposed elements
+  /// are zero; surviving elements keep their (stale) values, so kernels
+  /// writing into a resized tensor must overwrite or accumulate-after-fill.
+  void ResizeInPlace(Shape new_shape);
+
   /// Fills the buffer with a constant.
   void Fill(float value);
 

@@ -132,6 +132,67 @@ Tensor SegmentSumAxis1(const Tensor& values,
                        const std::vector<int32_t>& segments,
                        int64_t num_segments);
 
+// ---- Preallocated-output kernels (tape-free inference engine) --------------
+//
+// These variants write into caller-owned tensors so the engine's per-thread
+// workspaces (engine/inference_context.h) are reused across calls: no
+// allocation and no redundant zero-fill on the hot path. `out` must already
+// have the documented shape (the engine acquires it at the right size).
+
+/// out = x W (+ bias along the last axis). x is [*, in] with the weight
+/// shared over all leading axes; out must hold numel(x)/in * out_features
+/// elements (its exact shape is the caller's business — [B, N] outputs of
+/// [in, 1] weights flatten for free). Overwrites out.
+void LinearInto(const Tensor& x, const Tensor& w, const Tensor* bias,
+                Tensor& out);
+
+/// Overwrites every row of out's last axis with `row` (shape [cols]).
+void BroadcastRowInto(const Tensor& row, Tensor& out);
+
+/// Two matrix-vector products in one pass over x: out1 = x w1, out2 = x w2
+/// with w1 / w2 of shape [k] or [k, 1] and x of shape [*, k]. Reads x once
+/// — the GAT source/destination logit pair. Overwrites out1 / out2 (each
+/// holding numel(x)/k elements).
+void DualMatVecInto(const Tensor& x, const Tensor& w1, const Tensor& w2,
+                    Tensor& out1, Tensor& out2);
+
+/// out[i] = s * x[i]; shapes must have equal numel. Overwrites out.
+void ScaleInto(const Tensor& x, float s, Tensor& out);
+
+/// Fused gather–scale–scatter (one memory pass over the arcs):
+///   out[b, dst[e], :] += coeff[e] * x[b, src[e], :]
+/// x and out are [B, N, H] (or 2-D [N, H]). coeff may be null for unit
+/// weights (GIN's neighbour sum). Accumulates into out, does not clear it.
+void GatherScaleScatterAddInto(const Tensor& x,
+                               const std::vector<int32_t>& src,
+                               const std::vector<int32_t>& dst,
+                               const float* coeff, Tensor& out);
+
+/// Per-arc GAT logits: out[b, e] = LeakyRelu(ls[b, src[e]] + ld[b, dst[e]]).
+/// ls and ld hold B*N elements ([B, N] or [B, N, 1]); out holds B*E.
+void ArcScoreInto(const Tensor& logit_src, const Tensor& logit_dst,
+                  const std::vector<int32_t>& src,
+                  const std::vector<int32_t>& dst, float negative_slope,
+                  Tensor& out);
+
+/// In-place segment softmax over CSR-grouped entries: `offsets` has one
+/// entry per segment plus an end sentinel, and order[offsets[s] ..
+/// offsets[s+1]) lists the entry ids of segment s. scores holds B*E
+/// elements; each segment of each batch row is softmaxed independently.
+void SegmentSoftmaxCsrInPlace(Tensor& scores,
+                              const std::vector<int64_t>& offsets,
+                              const std::vector<int32_t>& order);
+
+/// Fused attention aggregation into a column stripe of out:
+///   out[b, dst[e], col_offset + h] += alpha[b, e] * x[b, src[e], h]
+/// x is [B, N, H_head] (or 2-D), alpha holds B*E elements, out is
+/// [B, N, H_out] with col_offset + H_head <= H_out — multi-head concat
+/// without a Concat copy. Accumulates into out.
+void AttentionScatterAddInto(const Tensor& x, const Tensor& alpha,
+                             const std::vector<int32_t>& src,
+                             const std::vector<int32_t>& dst, Tensor& out,
+                             int64_t col_offset);
+
 }  // namespace dquag
 
 #endif  // DQUAG_TENSOR_TENSOR_OPS_H_

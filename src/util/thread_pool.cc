@@ -64,6 +64,8 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+bool InsidePoolWorker() { return inside_pool_worker; }
+
 ThreadPool& GlobalThreadPool() {
   // Function-local static reference; intentionally leaked so worker threads
   // outlive all static destructors (Google style: no non-trivial globals).

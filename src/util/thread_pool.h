@@ -50,6 +50,11 @@ class ThreadPool {
 /// Process-wide pool shared by all parallel kernels.
 ThreadPool& GlobalThreadPool();
 
+/// True when the calling thread is a GlobalThreadPool worker executing a
+/// task. Fan-out code uses this to degrade to serial execution instead of
+/// submitting nested work and waiting on the pool from inside it.
+bool InsidePoolWorker();
+
 /// Runs fn(i) for i in [begin, end), splitting the range into contiguous
 /// chunks across the global pool. Falls back to serial execution for small
 /// ranges (< grain) or when called from inside a pool worker.

@@ -79,15 +79,29 @@ TEST(GatLayerTest, AttentionIsNormalizedPerDestination) {
   Rng rng(5);
   FeatureGraph g = TestGraph();
   GatLayer layer(g, 4, 4, 1, rng);
-  layer.Forward(MakeVar(Tensor::Randn({1, 4, 4}, rng)));
-  const auto& attention = layer.last_attention();
-  ASSERT_EQ(attention.size(), 1u);
+  // Attention capture is an explicit opt-in: pass a recorder.
+  AttentionRecorder recorder;
+  layer.Forward(MakeVar(Tensor::Randn({1, 4, 4}, rng)), &recorder);
+  ASSERT_EQ(recorder.layers().size(), 1u);
+  EXPECT_EQ(recorder.layers()[0].layer, &layer);
+  const auto& heads = recorder.layers()[0].heads;
+  ASSERT_EQ(heads.size(), 1u);
   // Sum of attention over arcs sharing a destination == 1.
   std::vector<float> sums(4, 0.0f);
   for (size_t e = 0; e < layer.arc_dst().size(); ++e) {
-    sums[static_cast<size_t>(layer.arc_dst()[e])] += attention[0][e];
+    sums[static_cast<size_t>(layer.arc_dst()[e])] += heads[0][e];
   }
   for (int v = 0; v < 4; ++v) EXPECT_NEAR(sums[static_cast<size_t>(v)], 1.0f, 1e-4f);
+}
+
+TEST(GatLayerTest, ForwardWithoutRecorderCapturesNothing) {
+  Rng rng(5);
+  GatLayer layer(TestGraph(), 4, 4, 1, rng);
+  // The plain Forward takes no recorder and must leave a passed-in one
+  // untouched — attention capture never happens implicitly.
+  AttentionRecorder recorder;
+  layer.Forward(MakeVar(Tensor::Randn({1, 4, 4}, rng)));
+  EXPECT_TRUE(recorder.layers().empty());
 }
 
 TEST(GatLayerTest, GradientsReachParameters) {

@@ -1,12 +1,18 @@
 // dquag — command-line interface to the DQuaG pipeline.
 //
 // Subcommands:
-//   dquag train    --clean data.csv --schema schema.json --out model.ckpt
-//                  [--epochs N] [--encoder gat+gin] [--relationships r.json]
-//   dquag validate --model model.ckpt --data new.csv [--verbose]
-//   dquag repair   --model model.ckpt --data new.csv --out repaired.csv
-//   dquag explain  --model model.ckpt --data new.csv --row K
+//   dquag train     --clean data.csv --schema schema.json --out model.ckpt
+//                   [--epochs N] [--encoder gat+gin] [--relationships r.json]
+//   dquag validate  --model model.ckpt --data new.csv [--verbose]
+//                   [--micro-batch M]
+//   dquag repair    --model model.ckpt --data new.csv --out repaired.csv
+//   dquag explain   --model model.ckpt --data new.csv --row K
+//   dquag serve-sim --model model.ckpt --data new.csv [--threads T]
+//                   [--rounds R] [--micro-batch M]   (concurrent serving sim)
 //   dquag schema-template --data data.csv   (guess a schema from a CSV)
+//
+// validate and serve-sim run through the ValidationService: micro-batched
+// tape-free inference fanned across the process thread pool.
 //
 // Exit code: 0 on success (validate: also when the batch is clean),
 // 2 when validate classifies the batch dirty, 1 on errors.
@@ -15,13 +21,16 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/explainer.h"
 #include "core/pipeline.h"
+#include "core/validation_service.h"
 #include "data/schema_json.h"
 #include "graph/relationship_json.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace dquag {
 namespace {
@@ -128,16 +137,36 @@ StatusOr<DquagPipeline> LoadModelAndData(const Args& args, Table* table) {
   return pipeline;
 }
 
+StatusOr<std::unique_ptr<ValidationService>> LoadServiceAndData(
+    const Args& args, Table* table) {
+  const std::string model_path = args.Get("model");
+  const std::string data_path = args.Get("data");
+  if (model_path.empty() || data_path.empty()) {
+    return Status::InvalidArgument("--model and --data are required");
+  }
+  ValidationServiceOptions options;
+  options.micro_batch_rows = args.GetInt("micro-batch", 512);
+  auto service = ValidationService::FromCheckpoint(model_path, options);
+  if (!service.ok()) return service.status();
+  auto csv = ReadCsvFile(data_path);
+  if (!csv.ok()) return csv.status();
+  auto loaded =
+      Table::FromCsv((*service)->pipeline().preprocessor().schema(), *csv);
+  if (!loaded.ok()) return loaded.status();
+  *table = std::move(*loaded);
+  return service;
+}
+
 int CmdValidate(const Args& args) {
   Table table;
-  auto pipeline = LoadModelAndData(args, &table);
-  if (!pipeline.ok()) return Fail(pipeline.status());
-  BatchVerdict verdict = pipeline->Validate(table);
+  auto service = LoadServiceAndData(args, &table);
+  if (!service.ok()) return Fail(service.status());
+  BatchVerdict verdict = (*service)->Validate(table);
   std::printf("%s: %.2f%% of %lld instances flagged (cutoff %.2f%%)\n",
               verdict.is_dirty ? "DIRTY" : "clean",
               verdict.flagged_fraction * 100.0,
               static_cast<long long>(table.num_rows()),
-              pipeline->validator().batch_cutoff() * 100.0);
+              (*service)->pipeline().validator().batch_cutoff() * 100.0);
   if (args.Has("verbose")) {
     const Schema& schema = table.schema();
     for (size_t row : verdict.flagged_rows) {
@@ -150,6 +179,53 @@ int CmdValidate(const Args& args) {
     }
   }
   return verdict.is_dirty ? 2 : 0;
+}
+
+int CmdServeSim(const Args& args) {
+  Table table;
+  auto service_or = LoadServiceAndData(args, &table);
+  if (!service_or.ok()) return Fail(service_or.status());
+  ValidationService& service = **service_or;
+  const int64_t threads = args.GetInt("threads", 4);
+  const int64_t rounds = args.GetInt("rounds", 8);
+  if (threads <= 0 || rounds <= 0) {
+    return Fail(Status::InvalidArgument("--threads and --rounds must be > 0"));
+  }
+
+  std::printf("serving %lld rows to %lld concurrent clients, %lld rounds "
+              "each (micro-batch %lld)\n",
+              static_cast<long long>(table.num_rows()),
+              static_cast<long long>(threads),
+              static_cast<long long>(rounds),
+              static_cast<long long>(service.options().micro_batch_rows));
+  Stopwatch timer;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(threads));
+  for (int64_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&] {
+      for (int64_t r = 0; r < rounds; ++r) {
+        MonitorObservation obs = service.Observe(table);
+        (void)obs;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds = timer.ElapsedSeconds();
+
+  const ValidationServiceStats stats = service.stats();
+  std::printf("throughput: %.0f rows/s over %.2fs (%lld batches)\n",
+              static_cast<double>(stats.rows_validated) / seconds, seconds,
+              static_cast<long long>(stats.batches_validated));
+  std::printf("flagged: %.2f%% of rows; dirty batches: %lld/%lld; "
+              "monitor %s\n",
+              stats.rows_validated == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(stats.rows_flagged) /
+                        static_cast<double>(stats.rows_validated),
+              static_cast<long long>(stats.dirty_batches),
+              static_cast<long long>(stats.batches_validated),
+              service.alarming() ? "ALARMING" : "quiet");
+  return 0;
 }
 
 int CmdRepair(const Args& args) {
@@ -217,7 +293,7 @@ int CmdSchemaTemplate(const Args& args) {
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: dquag <train|validate|repair|explain|"
+                 "usage: dquag <train|validate|repair|explain|serve-sim|"
                  "schema-template> [flags]\n");
     return 1;
   }
@@ -228,6 +304,7 @@ int Run(int argc, char** argv) {
   if (command == "validate") return CmdValidate(args);
   if (command == "repair") return CmdRepair(args);
   if (command == "explain") return CmdExplain(args);
+  if (command == "serve-sim") return CmdServeSim(args);
   if (command == "schema-template") return CmdSchemaTemplate(args);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 1;
