@@ -1,0 +1,170 @@
+// Phase-1 training throughput: serial tape vs the data-parallel,
+// allocation-free fast path.
+//
+// Fits the same model on the same synthetic NY-Taxi matrix twice — once
+// with train_shards=1 (the single-tape reference path) and once with the
+// sharded path on an N-thread pool — and reports wall-clock, rows/sec, the
+// speedup, and the numerical drift between the two runs (epoch losses and
+// calibrated threshold must agree within 1e-4; thread-count invariance of
+// the sharded path itself is exact and covered by trainer_parallel_test).
+//
+// --json[=path] additionally writes a BENCH_training.json machine-readable
+// summary (default path: BENCH_training.json in the working directory).
+// DQUAG_BENCH_FAST=1 shrinks the workload; DQUAG_TRAIN_THREADS sets the
+// parallel pool size (default 8 — note speedup is bounded by physical
+// cores, reported as hardware_concurrency).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "core/trainer.h"
+#include "data/generators.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace dquag {
+namespace {
+
+struct FitResult {
+  TrainingReport report;
+  double seconds = 0.0;
+};
+
+FitResult FitOnce(const Tensor& matrix, const FeatureGraph& graph,
+                  DquagConfig config, int64_t train_shards,
+                  ThreadPool* pool) {
+  config.train_shards = train_shards;
+  Rng rng(config.seed);
+  DquagModel model(graph, config, rng);
+  Trainer trainer(&model, config);
+  trainer.set_thread_pool(pool);
+  Stopwatch timer;
+  FitResult result;
+  result.report = trainer.Fit(matrix);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+int RunAll(const char* json_path) {
+  const bool fast = bench::FastMode();
+  const int64_t rows = bench::EnvInt("DQUAG_ROWS", fast ? 2000 : 20000);
+  const int64_t epochs = bench::EnvInt("DQUAG_EPOCHS", fast ? 2 : 10);
+  const int64_t threads = bench::EnvInt("DQUAG_TRAIN_THREADS", 8);
+  const int64_t shards = bench::EnvInt("DQUAG_TRAIN_SHARDS", 8);
+
+  // Paper-scale config on the Figure-4 dataset shape: NY Taxi, 18 columns.
+  Rng data_rng(41);
+  Table clean = datasets::GenerateNyTaxi(rows, data_rng, /*dims=*/18);
+  DquagPipelineOptions options;
+  TablePreprocessor preprocessor;
+  preprocessor.Fit(clean);
+  const Tensor matrix = preprocessor.Transform(clean);
+  auto graph_or = FeatureGraph::FromRelationships(
+      clean.schema().Names(),
+      MineRelationships(TableToMinerColumns(clean), options.miner));
+  DQUAG_CHECK(graph_or.ok());
+  const FeatureGraph graph = std::move(graph_or).value();
+
+  DquagConfig config;
+  config.epochs = epochs;
+  config.seed = 41;
+
+  std::printf("=== Trainer::Fit: serial tape vs data-parallel fast path ===\n");
+  std::printf(
+      "(%lld rows, %lld cols, %lld epochs, batch %lld, %lld shards, "
+      "%lld-thread pool, %u hardware threads)\n",
+      static_cast<long long>(rows), static_cast<long long>(matrix.dim(1)),
+      static_cast<long long>(epochs),
+      static_cast<long long>(config.batch_size),
+      static_cast<long long>(shards), static_cast<long long>(threads),
+      std::thread::hardware_concurrency());
+
+  const FitResult serial =
+      FitOnce(matrix, graph, config, /*train_shards=*/1, nullptr);
+  ThreadPool pool(static_cast<size_t>(threads));
+  const FitResult parallel =
+      FitOnce(matrix, graph, config, shards, &pool);
+
+  const double rows_per_sec_serial =
+      static_cast<double>(rows) * epochs / serial.seconds;
+  const double rows_per_sec_parallel =
+      static_cast<double>(rows) * epochs / parallel.seconds;
+  const double speedup = serial.seconds / parallel.seconds;
+
+  double max_loss_delta = 0.0;
+  const size_t num_epochs = std::min(serial.report.epoch_losses.size(),
+                                     parallel.report.epoch_losses.size());
+  for (size_t e = 0; e < num_epochs; ++e) {
+    max_loss_delta = std::max(
+        max_loss_delta, std::abs(serial.report.epoch_losses[e] -
+                                 parallel.report.epoch_losses[e]));
+  }
+  const double threshold_delta =
+      std::abs(serial.report.error_statistics.threshold -
+               parallel.report.error_statistics.threshold);
+
+  std::printf("%18s  %10s  %14s\n", "path", "seconds", "train rows/s");
+  std::printf("%18s  %10.3f  %14.0f\n", "serial (1 shard)", serial.seconds,
+              rows_per_sec_serial);
+  std::printf("%18s  %10.3f  %14.0f\n", "parallel", parallel.seconds,
+              rows_per_sec_parallel);
+  std::printf("speedup: %.2fx   max epoch-loss delta: %.2e   "
+              "threshold delta: %.2e\n",
+              speedup, max_loss_delta, threshold_delta);
+
+  if (json_path != nullptr) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"rows\": " << rows << ",\n"
+        << "  \"columns\": " << matrix.dim(1) << ",\n"
+        << "  \"epochs\": " << epochs << ",\n"
+        << "  \"batch_size\": " << config.batch_size << ",\n"
+        << "  \"train_shards\": " << shards << ",\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "  \"serial_seconds\": " << serial.seconds << ",\n"
+        << "  \"parallel_seconds\": " << parallel.seconds << ",\n"
+        << "  \"rows_per_sec_1t\": " << rows_per_sec_serial << ",\n"
+        << "  \"rows_per_sec_nt\": " << rows_per_sec_parallel << ",\n"
+        << "  \"speedup\": " << speedup << ",\n"
+        << "  \"max_epoch_loss_delta\": " << max_loss_delta << ",\n"
+        << "  \"threshold_delta\": " << threshold_delta << "\n"
+        << "}\n";
+    std::printf("wrote %s\n", json_path);
+  }
+
+  // Drift beyond float reassociation would mean the sharded loss/gradient
+  // decomposition is wrong — fail loudly so CI catches it.
+  if (max_loss_delta > 1e-4 || threshold_delta > 1e-4) {
+    std::fprintf(stderr,
+                 "FAIL: parallel training drifted from the serial path\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dquag
+
+int main(int argc, char** argv) {
+  dquag::SetLogLevel(dquag::LogLevel::kWarning);
+  const char* json_path = nullptr;
+  std::string json_storage;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_training.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_storage = argv[i] + 7;
+      json_path = json_storage.c_str();
+    }
+  }
+  return dquag::RunAll(json_path);
+}

@@ -25,10 +25,19 @@ VarPtr MakeOp(Tensor value, std::vector<VarPtr> parents,
   return out;
 }
 
-/// Adds `grad` into `target`, reducing over broadcast axes first.
-void AccumulateBroadcast(const VarPtr& target, const Tensor& grad) {
+/// Accumulates `scale * grad` into the target's gradient (or its shard
+/// sink), reducing over broadcast axes first. The equal-shape fast path is
+/// a single fused pass — no ReduceToShape copy, no Neg/MulScalar temporary.
+void AccumulateScaled(const VarPtr& target, const Tensor& grad,
+                      float scale = 1.0f) {
   if (!target->requires_grad()) return;
-  target->AccumulateGrad(ReduceToShape(grad, target->value().shape()));
+  Tensor& dst = target->grad_ref();
+  if (grad.shape() == target->value().shape()) {
+    AddScaledInto(grad, scale, dst);
+    return;
+  }
+  Tensor reduced = ReduceToShape(grad, target->value().shape());
+  AddScaledInto(reduced, scale, dst);
 }
 
 }  // namespace
@@ -36,62 +45,73 @@ void AccumulateBroadcast(const VarPtr& target, const Tensor& grad) {
 VarPtr Add(const VarPtr& a, const VarPtr& b) {
   return MakeOp(dquag::Add(a->value(), b->value()), {a, b},
                 [a, b](Variable& out) {
-                  AccumulateBroadcast(a, out.grad());
-                  AccumulateBroadcast(b, out.grad());
+                  AccumulateScaled(a, out.grad());
+                  AccumulateScaled(b, out.grad());
                 });
 }
 
 VarPtr Sub(const VarPtr& a, const VarPtr& b) {
   return MakeOp(dquag::Sub(a->value(), b->value()), {a, b},
                 [a, b](Variable& out) {
-                  AccumulateBroadcast(a, out.grad());
-                  AccumulateBroadcast(b, dquag::Neg(out.grad()));
+                  AccumulateScaled(a, out.grad());
+                  AccumulateScaled(b, out.grad(), -1.0f);
                 });
 }
 
 VarPtr Mul(const VarPtr& a, const VarPtr& b) {
-  return MakeOp(dquag::Mul(a->value(), b->value()), {a, b},
-                [a, b](Variable& out) {
-                  AccumulateBroadcast(a, dquag::Mul(out.grad(), b->value()));
-                  AccumulateBroadcast(b, dquag::Mul(out.grad(), a->value()));
-                });
+  return MakeOp(
+      dquag::Mul(a->value(), b->value()), {a, b}, [a, b](Variable& out) {
+        const Tensor& g = out.grad();
+        const bool same_shape = a->value().shape() == g.shape() &&
+                                b->value().shape() == g.shape();
+        if (a->requires_grad()) {
+          if (same_shape) {
+            AddProductInto(g, b->value(), 1.0f, a->grad_ref());
+          } else {
+            AccumulateScaled(a, dquag::Mul(g, b->value()));
+          }
+        }
+        if (b->requires_grad()) {
+          if (same_shape) {
+            AddProductInto(g, a->value(), 1.0f, b->grad_ref());
+          } else {
+            AccumulateScaled(b, dquag::Mul(g, a->value()));
+          }
+        }
+      });
 }
 
 VarPtr Div(const VarPtr& a, const VarPtr& b) {
   return MakeOp(
       dquag::Div(a->value(), b->value()), {a, b},
       [a, b](Variable& out) {
-        AccumulateBroadcast(a, dquag::Div(out.grad(), b->value()));
+        if (a->requires_grad()) {
+          AccumulateScaled(a, dquag::Div(out.grad(), b->value()));
+        }
+        if (!b->requires_grad()) return;
         // d/db (a/b) = -a / b^2
         Tensor b2 = dquag::Mul(b->value(), b->value());
-        Tensor gb = dquag::Neg(
-            dquag::Div(dquag::Mul(out.grad(), a->value()), b2));
-        AccumulateBroadcast(b, gb);
+        Tensor gb = dquag::Div(dquag::Mul(out.grad(), a->value()), b2);
+        AccumulateScaled(b, gb, -1.0f);
       });
 }
 
 VarPtr AddScalar(const VarPtr& a, float s) {
   return MakeOp(dquag::AddScalar(a->value(), s), {a},
-                [a](Variable& out) { AccumulateBroadcast(a, out.grad()); });
+                [a](Variable& out) { AccumulateScaled(a, out.grad()); });
 }
 
 VarPtr MulScalar(const VarPtr& a, float s) {
   return MakeOp(dquag::MulScalar(a->value(), s), {a},
                 [a, s](Variable& out) {
-                  AccumulateBroadcast(a, dquag::MulScalar(out.grad(), s));
+                  AccumulateScaled(a, out.grad(), s);
                 });
 }
 
 VarPtr Relu(const VarPtr& a) {
   return MakeOp(dquag::Relu(a->value()), {a}, [a](Variable& out) {
     if (!a->requires_grad()) return;
-    Tensor g = out.grad();
-    const float* x = a->value().data();
-    float* pg = g.data();
-    for (int64_t i = 0; i < g.numel(); ++i) {
-      if (x[i] <= 0.0f) pg[i] = 0.0f;
-    }
-    a->AccumulateGrad(g);
+    ReluBackwardInto(a->value(), out.grad(), a->grad_ref());
   });
 }
 
@@ -99,13 +119,8 @@ VarPtr LeakyRelu(const VarPtr& a, float negative_slope) {
   return MakeOp(dquag::LeakyRelu(a->value(), negative_slope), {a},
                 [a, negative_slope](Variable& out) {
                   if (!a->requires_grad()) return;
-                  Tensor g = out.grad();
-                  const float* x = a->value().data();
-                  float* pg = g.data();
-                  for (int64_t i = 0; i < g.numel(); ++i) {
-                    if (x[i] <= 0.0f) pg[i] *= negative_slope;
-                  }
-                  a->AccumulateGrad(g);
+                  LeakyReluBackwardInto(a->value(), negative_slope,
+                                        out.grad(), a->grad_ref());
                 });
 }
 
@@ -113,15 +128,8 @@ VarPtr Elu(const VarPtr& a, float alpha) {
   Tensor y = dquag::Elu(a->value(), alpha);
   return MakeOp(std::move(y), {a}, [a, alpha](Variable& out) {
     if (!a->requires_grad()) return;
-    Tensor g = out.grad();
-    const float* x = a->value().data();
-    const float* yv = out.value().data();
-    float* pg = g.data();
-    for (int64_t i = 0; i < g.numel(); ++i) {
-      // d elu = 1 for x>0 else elu(x) + alpha.
-      if (x[i] <= 0.0f) pg[i] *= yv[i] + alpha;
-    }
-    a->AccumulateGrad(g);
+    EluBackwardInto(a->value(), out.value(), alpha, out.grad(),
+                    a->grad_ref());
   });
 }
 
@@ -129,13 +137,7 @@ VarPtr Sigmoid(const VarPtr& a) {
   Tensor y = dquag::Sigmoid(a->value());
   return MakeOp(std::move(y), {a}, [a](Variable& out) {
     if (!a->requires_grad()) return;
-    Tensor g = out.grad();
-    const float* yv = out.value().data();
-    float* pg = g.data();
-    for (int64_t i = 0; i < g.numel(); ++i) {
-      pg[i] *= yv[i] * (1.0f - yv[i]);
-    }
-    a->AccumulateGrad(g);
+    SigmoidBackwardInto(out.value(), out.grad(), a->grad_ref());
   });
 }
 
@@ -143,13 +145,7 @@ VarPtr Tanh(const VarPtr& a) {
   Tensor y = dquag::Tanh(a->value());
   return MakeOp(std::move(y), {a}, [a](Variable& out) {
     if (!a->requires_grad()) return;
-    Tensor g = out.grad();
-    const float* yv = out.value().data();
-    float* pg = g.data();
-    for (int64_t i = 0; i < g.numel(); ++i) {
-      pg[i] *= 1.0f - yv[i] * yv[i];
-    }
-    a->AccumulateGrad(g);
+    TanhBackwardInto(out.value(), out.grad(), a->grad_ref());
   });
 }
 
@@ -157,15 +153,14 @@ VarPtr Exp(const VarPtr& a) {
   Tensor y = dquag::Exp(a->value());
   return MakeOp(std::move(y), {a}, [a](Variable& out) {
     if (!a->requires_grad()) return;
-    a->AccumulateGrad(dquag::Mul(out.grad(), out.value()));
+    AddProductInto(out.grad(), out.value(), 1.0f, a->grad_ref());
   });
 }
 
 VarPtr Square(const VarPtr& a) {
   return MakeOp(dquag::Square(a->value()), {a}, [a](Variable& out) {
     if (!a->requires_grad()) return;
-    Tensor g = dquag::Mul(out.grad(), a->value());
-    a->AccumulateGrad(dquag::MulScalar(g, 2.0f));
+    AddProductInto(out.grad(), a->value(), 2.0f, a->grad_ref());
   });
 }
 
@@ -177,16 +172,17 @@ VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
         const Tensor& bv = b->value();
         if (a->requires_grad()) {
           if (bv.ndim() == 2) {
-            // dA = G @ B^T; transpose-free kernel handles 2-D and 3-D G.
-            a->AccumulateGrad(dquag::MatMulTransB(g, bv));
+            // dA += G B^T: transpose-free, fused into the accumulation
+            // target (the register-tiled kernels accumulate natively).
+            MatMulTransBAcc(g, bv, a->grad_ref());
           } else {
             a->AccumulateGrad(dquag::MatMul(g, dquag::TransposeLast2(bv)));
           }
         }
         if (b->requires_grad()) {
           if (bv.ndim() == 2) {
-            // Shared weight: dB = sum over all leading axes of A^T G.
-            b->AccumulateGrad(dquag::MatMulTransA(av, g));
+            // Shared weight: dB += sum over all leading axes of A^T G.
+            MatMulTransAAcc(av, g, b->grad_ref());
           } else {
             b->AccumulateGrad(dquag::MatMul(dquag::TransposeLast2(av), g));
           }
@@ -198,7 +194,8 @@ VarPtr Reshape(const VarPtr& a, Shape new_shape) {
   Tensor y = a->value().Reshape(std::move(new_shape));
   return MakeOp(std::move(y), {a}, [a](Variable& out) {
     if (!a->requires_grad()) return;
-    a->AccumulateGrad(out.grad().Reshape(a->value().shape()));
+    // Reshape is layout-free: accumulate elementwise, no gradient copy.
+    AddScaledInto(out.grad(), 1.0f, a->grad_ref());
   });
 }
 
@@ -209,12 +206,24 @@ VarPtr Concat(const std::vector<VarPtr>& parts, int64_t axis) {
   Tensor y = dquag::Concat(values, axis);
   const int64_t norm_axis = axis < 0 ? axis + parts[0]->value().ndim() : axis;
   return MakeOp(std::move(y), parts, [parts, norm_axis](Variable& out) {
+    const Tensor& g = out.grad();
+    int64_t outer = 1, inner = 1;
+    for (int64_t i = 0; i < norm_axis; ++i) outer *= g.dim(i);
+    for (int64_t i = norm_axis + 1; i < g.ndim(); ++i) inner *= g.dim(i);
+    const int64_t g_axis = g.dim(norm_axis);
+    const float* src = g.data();
     int64_t offset = 0;
     for (const VarPtr& p : parts) {
       const int64_t extent = p->value().dim(norm_axis);
       if (p->requires_grad()) {
-        p->AccumulateGrad(
-            dquag::Slice(out.grad(), norm_axis, offset, offset + extent));
+        // Accumulate the part's stripe of g in place of a Slice copy.
+        float* dst = p->grad_ref().data();
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* from = src + (o * g_axis + offset) * inner;
+          float* to = dst + o * extent * inner;
+          const int64_t span = extent * inner;
+          for (int64_t i = 0; i < span; ++i) to[i] += from[i];
+        }
       }
       offset += extent;
     }
@@ -226,39 +235,49 @@ VarPtr Slice(const VarPtr& a, int64_t axis, int64_t start, int64_t end) {
   Tensor y = dquag::Slice(a->value(), norm_axis, start, end);
   return MakeOp(std::move(y), {a}, [a, norm_axis, start](Variable& out) {
     if (!a->requires_grad()) return;
-    // Pad the gradient back into a zero tensor of the input shape.
-    Tensor padded = Tensor::Zeros(a->value().shape());
+    // Accumulate g straight into the sliced region of a's gradient — no
+    // zero-padded temporary.
+    Tensor& dst = a->grad_ref();
     const Tensor& g = out.grad();
     int64_t outer = 1, inner = 1;
-    for (int64_t i = 0; i < norm_axis; ++i) outer *= padded.dim(i);
-    for (int64_t i = norm_axis + 1; i < padded.ndim(); ++i) {
-      inner *= padded.dim(i);
-    }
-    const int64_t in_axis = padded.dim(norm_axis);
+    for (int64_t i = 0; i < norm_axis; ++i) outer *= dst.dim(i);
+    for (int64_t i = norm_axis + 1; i < dst.ndim(); ++i) inner *= dst.dim(i);
+    const int64_t in_axis = dst.dim(norm_axis);
     const int64_t out_axis = g.dim(norm_axis);
     const float* src = g.data();
-    float* dst = padded.data();
+    float* pd = dst.data();
     for (int64_t o = 0; o < outer; ++o) {
-      std::copy(src + o * out_axis * inner, src + (o + 1) * out_axis * inner,
-                dst + (o * in_axis + start) * inner);
+      const float* from = src + o * out_axis * inner;
+      float* to = pd + (o * in_axis + start) * inner;
+      const int64_t span = out_axis * inner;
+      for (int64_t i = 0; i < span; ++i) to[i] += from[i];
     }
-    a->AccumulateGrad(padded);
   });
 }
 
 VarPtr Sum(const VarPtr& a, int64_t axis, bool keepdims) {
   const int64_t norm_axis = axis < 0 ? axis + a->value().ndim() : axis;
   Tensor y = dquag::Sum(a->value(), norm_axis, keepdims);
-  return MakeOp(std::move(y), {a}, [a, norm_axis, keepdims](Variable& out) {
+  return MakeOp(std::move(y), {a}, [a, norm_axis](Variable& out) {
     if (!a->requires_grad()) return;
-    Tensor g = out.grad();
-    if (!keepdims) {
-      Shape kept = a->value().shape();
-      kept[static_cast<size_t>(norm_axis)] = 1;
-      g = g.Reshape(std::move(kept));
+    // Broadcast g back over the summed axis directly into the gradient; g
+    // has the same flat layout with or without the kept size-1 axis, so no
+    // reshape is needed.
+    Tensor& dst = a->grad_ref();
+    const Tensor& g = out.grad();
+    int64_t outer = 1, inner = 1;
+    const int64_t reduced = dst.dim(norm_axis);
+    for (int64_t i = 0; i < norm_axis; ++i) outer *= dst.dim(i);
+    for (int64_t i = norm_axis + 1; i < dst.ndim(); ++i) inner *= dst.dim(i);
+    const float* pg = g.data();
+    float* pd = dst.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* from = pg + o * inner;
+      for (int64_t r = 0; r < reduced; ++r) {
+        float* to = pd + (o * reduced + r) * inner;
+        for (int64_t i = 0; i < inner; ++i) to[i] += from[i];
+      }
     }
-    // Broadcast the reduced gradient back over the summed axis.
-    a->AccumulateGrad(dquag::Add(Tensor::Zeros(a->value().shape()), g));
   });
 }
 
@@ -272,7 +291,7 @@ VarPtr SumAll(const VarPtr& a) {
   Tensor y = Tensor::Scalar(dquag::SumAll(a->value()));
   return MakeOp(std::move(y), {a}, [a](Variable& out) {
     if (!a->requires_grad()) return;
-    a->AccumulateGrad(Tensor::Full(a->value().shape(), out.grad()[0]));
+    BroadcastAddInto(out.grad(), a->grad_ref());
   });
 }
 
@@ -283,13 +302,10 @@ VarPtr MeanAll(const VarPtr& a) {
 
 VarPtr GatherAxis1(const VarPtr& t, std::vector<int32_t> indices) {
   Tensor y = dquag::GatherAxis1(t->value(), indices);
-  const int64_t rows = t->value().ndim() == 3 ? t->value().dim(1)
-                                              : t->value().dim(0);
   return MakeOp(std::move(y), {t},
-                [t, indices = std::move(indices), rows](Variable& out) {
+                [t, indices = std::move(indices)](Variable& out) {
                   if (!t->requires_grad()) return;
-                  t->AccumulateGrad(
-                      dquag::ScatterAddAxis1(out.grad(), indices, rows));
+                  ScatterAddAxis1Into(out.grad(), indices, t->grad_ref());
                 });
 }
 
@@ -299,7 +315,7 @@ VarPtr ScatterAddAxis1(const VarPtr& src, std::vector<int32_t> indices,
   return MakeOp(std::move(y), {src},
                 [src, indices = std::move(indices)](Variable& out) {
                   if (!src->requires_grad()) return;
-                  src->AccumulateGrad(dquag::GatherAxis1(out.grad(), indices));
+                  GatherAddAxis1Into(out.grad(), indices, src->grad_ref());
                 });
 }
 
@@ -312,27 +328,27 @@ VarPtr SegmentSoftmaxAxis1(const VarPtr& scores, std::vector<int32_t> segments,
       [scores, segments = std::move(segments),
        num_segments](Variable& out) {
         if (!scores->requires_grad()) return;
-        // dy/ds within a segment: ds_e = y_e * (g_e - sum_seg(g * y)).
+        // dy/ds within a segment: ds_e = y_e * (g_e - sum_seg(g * y)),
+        // accumulated straight into the gradient (no ds temporary).
         const Tensor& yv = out.value();
         const Tensor& g = out.grad();
         Tensor gy = dquag::Mul(g, yv);
         Tensor seg_sums = dquag::SegmentSumAxis1(gy, segments, num_segments);
-        Tensor ds(yv.shape());
+        Tensor& dst = scores->grad_ref();
         const bool is_1d = yv.ndim() == 1;
         const int64_t batch = is_1d ? 1 : yv.dim(0);
         const int64_t num = is_1d ? yv.dim(0) : yv.dim(1);
         const float* py = yv.data();
         const float* pg = g.data();
         const float* psum = seg_sums.data();
-        float* pd = ds.data();
+        float* pd = dst.data();
         for (int64_t b = 0; b < batch; ++b) {
           for (int64_t e = 0; e < num; ++e) {
             const int64_t i = b * num + e;
             const int32_t s = segments[static_cast<size_t>(e)];
-            pd[i] = py[i] * (pg[i] - psum[b * num_segments + s]);
+            pd[i] += py[i] * (pg[i] - psum[b * num_segments + s]);
           }
         }
-        scores->AccumulateGrad(ds);
       });
 }
 

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "autograd/grad_arena.h"
+
 namespace dquag {
 
 namespace {
@@ -16,9 +18,20 @@ NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
 
 NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
 
+Tensor& Variable::grad_ref() {
+  // Only grad-requiring leaves can have sinks; tape temporaries skip the
+  // map lookup entirely.
+  if (requires_grad_ && !backward_fn_) {
+    if (GradArena* arena = ActiveGradArena()) {
+      if (Tensor* sink = arena->FindSink(this)) return *sink;
+    }
+  }
+  return grad();
+}
+
 void Variable::AccumulateGrad(const Tensor& g) {
   DQUAG_CHECK(g.shape() == value_.shape());
-  Tensor& acc = grad();
+  Tensor& acc = grad_ref();
   float* dst = acc.data();
   const float* src = g.data();
   const int64_t n = acc.numel();

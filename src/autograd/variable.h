@@ -43,7 +43,14 @@ class Variable {
   }
   bool has_grad() const { return grad_.numel() == value_.numel(); }
 
-  /// Adds `g` (same shape as value) into the gradient.
+  /// The tensor gradients should accumulate into: normally grad(), but for
+  /// a grad-requiring leaf (a model parameter) with an active GradArena
+  /// (autograd/grad_arena.h) it is the arena's per-shard sink. Backward
+  /// closures must write through this so data-parallel training never
+  /// races on shared parameter gradients.
+  Tensor& grad_ref();
+
+  /// Adds `g` (same shape as value) into grad_ref().
   void AccumulateGrad(const Tensor& g);
 
   /// Resets the gradient to zero (keeps allocation).

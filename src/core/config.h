@@ -53,6 +53,15 @@ struct DquagConfig {
   /// trade-off; results are chunk-size independent).
   int64_t inference_chunk_rows = 2048;
 
+  /// Data-parallel training: each mini-batch is split into up to this many
+  /// shards whose forward/backward run concurrently against per-shard
+  /// gradient buffers, combined by a fixed-order tree reduction. The shard
+  /// layout depends only on the batch size — never on the thread count —
+  /// so a given seed reproduces identical losses and thresholds on any
+  /// thread count for a given build (FP codegen still varies across ISAs
+  /// under -march=native). 1 disables sharding (single-tape path).
+  int64_t train_shards = 8;
+
   uint64_t seed = 42;
 };
 

@@ -49,25 +49,15 @@ BatchVerdict ValidationService::ValidateMatrix(const Tensor& matrix) const {
                                  verdict.instances.data());
     }
   } else {
-    // Fan the chunks across the shared pool and wait on a private latch —
-    // not ThreadPool::Wait(), which would couple concurrent callers.
-    std::mutex mutex;
-    std::condition_variable done;
-    int64_t remaining = num_chunks;
-    ThreadPool& pool = GlobalThreadPool();
-    for (int64_t c = 0; c < num_chunks; ++c) {
+    // Fan the chunks across the shared pool behind a private latch — not
+    // ThreadPool::Wait(), which would couple concurrent callers.
+    RunTasksAndWait(GlobalThreadPool(), num_chunks, [&](int64_t c) {
       const int64_t lo = c * micro;
       const int64_t hi = std::min(rows, lo + micro);
-      pool.Submit([&, lo, hi] {
-        validator.ValidateRowsInto(matrix, lo, hi,
-                                   InferenceContext::ThreadLocal(),
-                                   verdict.instances.data() + lo);
-        std::lock_guard<std::mutex> lock(mutex);
-        if (--remaining == 0) done.notify_all();
-      });
-    }
-    std::unique_lock<std::mutex> lock(mutex);
-    done.wait(lock, [&] { return remaining == 0; });
+      validator.ValidateRowsInto(matrix, lo, hi,
+                                 InferenceContext::ThreadLocal(),
+                                 verdict.instances.data() + lo);
+    });
   }
 
   validator.FinalizeVerdict(verdict);

@@ -11,6 +11,8 @@
 
 namespace dquag {
 
+class ThreadPool;
+
 struct AdamOptions {
   float learning_rate = 0.01f;  // paper §4.4
   float beta1 = 0.9f;
@@ -24,7 +26,9 @@ class Adam {
  public:
   Adam(std::vector<VarPtr> parameters, AdamOptions options = {});
 
-  /// Applies one update from the currently accumulated gradients.
+  /// Applies one update from the currently accumulated gradients. Large
+  /// models fan the per-parameter updates across the global pool; elements
+  /// update independently, so results never depend on the thread count.
   void Step();
 
   /// Zeroes all parameter gradients.
@@ -34,12 +38,19 @@ class Adam {
   const AdamOptions& options() const { return options_; }
   void set_learning_rate(float lr) { options_.learning_rate = lr; }
 
+  /// Pool for the per-parameter fan-out (nullptr = the process-wide pool).
+  /// Step waits on a private latch, never on the shared pool's global
+  /// in-flight count, so concurrent pool users cannot stall the optimizer.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
  private:
+  ThreadPool* pool_ = nullptr;
   std::vector<VarPtr> parameters_;
   std::vector<Tensor> first_moment_;
   std::vector<Tensor> second_moment_;
   AdamOptions options_;
   int64_t step_count_ = 0;
+  int64_t total_numel_ = 0;
 };
 
 }  // namespace dquag

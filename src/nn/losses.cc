@@ -55,6 +55,15 @@ Tensor PerSampleErrors(const Tensor& pred, const Tensor& target) {
   return Mean(sq, /*axis=*/1);
 }
 
+float PerSampleError(const float* pred, const float* target, int64_t d) {
+  float acc = 0.0f;
+  for (int64_t c = 0; c < d; ++c) {
+    const float diff = pred[c] - target[c];
+    acc += diff * diff;
+  }
+  return acc * (1.0f / static_cast<float>(d));
+}
+
 Tensor PerFeatureErrors(const Tensor& pred, const Tensor& target) {
   Tensor p = AsMatrixTensor(pred);
   Tensor t = AsMatrixTensor(target);
@@ -62,20 +71,56 @@ Tensor PerFeatureErrors(const Tensor& pred, const Tensor& target) {
   return Square(Sub(p, t));
 }
 
-Tensor ErrorsToWeights(const Tensor& per_sample_errors) {
-  const int64_t batch = per_sample_errors.numel();
+namespace {
+
+/// Shared weight-schedule kernel. Uses the same accumulation scheme as
+/// MeanAll (double sum, float result) so the sharded trainer reproduces the
+/// serial weights bit-for-bit.
+void FillWeights(const float* errors, int64_t batch, float* weights) {
   DQUAG_CHECK_GT(batch, 0);
-  const float tau = MeanAll(per_sample_errors) + 1e-8f;
-  Tensor weights({batch});
+  double error_sum = 0.0;
+  for (int64_t i = 0; i < batch; ++i) error_sum += errors[i];
+  const float tau =
+      static_cast<float>(error_sum) / static_cast<float>(batch) + 1e-8f;
   double total = 0.0;
   for (int64_t i = 0; i < batch; ++i) {
-    weights[i] = std::exp(-per_sample_errors[i] / tau);
+    weights[i] = std::exp(-errors[i] / tau);
     total += weights[i];
   }
   DQUAG_CHECK_GT(total, 0.0);
   const float scale = static_cast<float>(batch) / static_cast<float>(total);
   for (int64_t i = 0; i < batch; ++i) weights[i] *= scale;
+}
+
+}  // namespace
+
+Tensor ErrorsToWeights(const Tensor& per_sample_errors) {
+  const int64_t batch = per_sample_errors.numel();
+  Tensor weights({batch});  // pool-eligible under an active arena scope
+  FillWeights(per_sample_errors.data(), batch, weights.data());
   return weights;
+}
+
+void ErrorsToWeightsInto(const float* errors, int64_t batch, Tensor& weights) {
+  weights.ResizeInPlace({batch});
+  FillWeights(errors, batch, weights.data());
+}
+
+VarPtr SquaredErrorSum(const VarPtr& pred, const VarPtr& target) {
+  VarPtr p = AsMatrix(pred);
+  VarPtr t = AsMatrix(target);
+  return ag::SumAll(ag::Square(ag::Sub(p, t)));
+}
+
+VarPtr WeightedPerSampleErrorSum(const VarPtr& pred, const VarPtr& target,
+                                 const Tensor& weights) {
+  VarPtr p = AsMatrix(pred);
+  VarPtr t = AsMatrix(target);
+  const int64_t batch = p->value().dim(0);
+  DQUAG_CHECK_EQ(weights.numel(), batch);
+  VarPtr per_sample = ag::Mean(ag::Square(ag::Sub(p, t)), /*axis=*/1);  // [B]
+  VarPtr w = MakeVar(weights.Reshape({batch}));                  // detached
+  return ag::SumAll(ag::Mul(per_sample, w));
 }
 
 }  // namespace dquag

@@ -200,15 +200,22 @@ Shape BroadcastShapes(const Shape& a, const Shape& b) {
 Tensor ReduceToShape(const Tensor& t, const Shape& target) {
   if (t.shape() == target) return t;
   // Sum over leading extra axes, then over axes where target has size 1.
-  Tensor current = t;
-  while (current.ndim() > static_cast<int64_t>(target.size())) {
-    current = Sum(current, 0, /*keepdims=*/false);
+  // `src` tracks the live input so the first reduction reads `t` directly
+  // (no upfront copy); later reassignments release their old buffer into
+  // the active tensor pool via the pool-aware move assignment.
+  Tensor current;
+  const Tensor* src = &t;
+  while (src->ndim() > static_cast<int64_t>(target.size())) {
+    current = Sum(*src, 0, /*keepdims=*/false);
+    src = &current;
   }
-  for (int64_t axis = 0; axis < current.ndim(); ++axis) {
-    if (target[static_cast<size_t>(axis)] == 1 && current.dim(axis) != 1) {
-      current = Sum(current, axis, /*keepdims=*/true);
+  for (int64_t axis = 0; axis < src->ndim(); ++axis) {
+    if (target[static_cast<size_t>(axis)] == 1 && src->dim(axis) != 1) {
+      current = Sum(*src, axis, /*keepdims=*/true);
+      src = &current;
     }
   }
+  if (src != &current) current = *src;  // no reduction applied: plain copy
   DQUAG_CHECK(current.shape() == target);
   return current;
 }
@@ -1088,6 +1095,206 @@ void AttentionScatterAddInto(const Tensor& x, const Tensor& alpha,
   } else {
     ParallelFor(0, static_cast<size_t>(batch), kernel,
                 BatchGrain(batch, num_arcs * cols));
+  }
+}
+
+// ---- Fused backward kernels (training fast path) ---------------------------
+
+void AddScaledInto(const Tensor& x, float s, Tensor& out) {
+  DQUAG_CHECK_EQ(x.numel(), out.numel());
+  const float* px = x.data();
+  float* po = out.data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] += s * px[i];
+}
+
+void AddProductInto(const Tensor& a, const Tensor& b, float s, Tensor& out) {
+  DQUAG_CHECK_EQ(a.numel(), out.numel());
+  DQUAG_CHECK_EQ(b.numel(), out.numel());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] += s * pa[i] * pb[i];
+}
+
+void BroadcastAddInto(const Tensor& g, Tensor& out) {
+  if (g.numel() == 1) {
+    const float v = g[0];
+    float* po = out.data();
+    const int64_t n = out.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] += v;
+    return;
+  }
+  const int64_t nd = out.ndim();
+  DQUAG_CHECK_EQ(g.ndim(), nd);
+  // g strides with 0 on broadcast (size-1) axes.
+  std::vector<int64_t> gstride(static_cast<size_t>(nd));
+  int64_t s = 1;
+  for (int64_t i = nd - 1; i >= 0; --i) {
+    const int64_t gd = g.dim(i);
+    DQUAG_CHECK(gd == out.dim(i) || gd == 1);
+    gstride[static_cast<size_t>(i)] = gd == 1 ? 0 : s;
+    s *= gd;
+  }
+  const int64_t inner = out.dim(nd - 1);
+  const int64_t inner_stride = gstride[static_cast<size_t>(nd - 1)];
+  const int64_t outer = out.numel() / std::max<int64_t>(1, inner);
+  std::vector<int64_t> idx(static_cast<size_t>(nd), 0);
+  const float* pg = g.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    int64_t goff = 0;
+    for (int64_t i = 0; i + 1 < nd; ++i) {
+      goff += idx[static_cast<size_t>(i)] * gstride[static_cast<size_t>(i)];
+    }
+    if (inner_stride == 0) {
+      const float v = pg[goff];
+      for (int64_t j = 0; j < inner; ++j) po[j] += v;
+    } else {
+      const float* row = pg + goff;
+      for (int64_t j = 0; j < inner; ++j) po[j] += row[j];
+    }
+    po += inner;
+    for (int64_t i = nd - 2; i >= 0; --i) {
+      if (++idx[static_cast<size_t>(i)] < out.dim(i)) break;
+      idx[static_cast<size_t>(i)] = 0;
+    }
+  }
+}
+
+void MatMulTransAAcc(const Tensor& a, const Tensor& b, Tensor& out) {
+  DQUAG_CHECK_GE(a.ndim(), 2);
+  DQUAG_CHECK_EQ(a.ndim(), b.ndim());
+  const int64_t k = a.dim(-1);
+  const int64_t n = b.dim(-1);
+  int64_t m = 1;
+  for (int64_t i = 0; i + 1 < a.ndim(); ++i) {
+    DQUAG_CHECK_EQ(a.dim(i), b.dim(i));
+    m *= a.dim(i);
+  }
+  DQUAG_CHECK_EQ(out.numel(), k * n);
+  MatMulTransAKernel(a.data(), b.data(), out.data(), m, k, n);
+}
+
+void MatMulTransBAcc(const Tensor& a, const Tensor& b, Tensor& out) {
+  DQUAG_CHECK_GE(a.ndim(), 2);
+  DQUAG_CHECK_EQ(b.ndim(), 2);
+  const int64_t n = a.dim(-1);
+  DQUAG_CHECK_EQ(n, b.dim(1));
+  const int64_t k = b.dim(0);
+  int64_t m = 1;
+  for (int64_t i = 0; i + 1 < a.ndim(); ++i) m *= a.dim(i);
+  DQUAG_CHECK_EQ(out.numel(), m * k);
+  MatMulTransBKernel(a.data(), b.data(), out.data(), m, n, k);
+}
+
+void ReluBackwardInto(const Tensor& x, const Tensor& g, Tensor& out) {
+  DQUAG_CHECK_EQ(x.numel(), out.numel());
+  DQUAG_CHECK_EQ(g.numel(), out.numel());
+  const float* px = x.data();
+  const float* pg = g.data();
+  float* po = out.data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] += px[i] > 0.0f ? pg[i] : 0.0f;
+}
+
+void LeakyReluBackwardInto(const Tensor& x, float negative_slope,
+                           const Tensor& g, Tensor& out) {
+  DQUAG_CHECK_EQ(x.numel(), out.numel());
+  DQUAG_CHECK_EQ(g.numel(), out.numel());
+  const float* px = x.data();
+  const float* pg = g.data();
+  float* po = out.data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] += px[i] > 0.0f ? pg[i] : negative_slope * pg[i];
+  }
+}
+
+void EluBackwardInto(const Tensor& x, const Tensor& y, float alpha,
+                     const Tensor& g, Tensor& out) {
+  DQUAG_CHECK_EQ(x.numel(), out.numel());
+  DQUAG_CHECK_EQ(y.numel(), out.numel());
+  DQUAG_CHECK_EQ(g.numel(), out.numel());
+  const float* px = x.data();
+  const float* py = y.data();
+  const float* pg = g.data();
+  float* po = out.data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = px[i] > 0.0f ? 1.0f : py[i] + alpha;
+    po[i] += pg[i] * d;
+  }
+}
+
+void SigmoidBackwardInto(const Tensor& y, const Tensor& g, Tensor& out) {
+  DQUAG_CHECK_EQ(y.numel(), out.numel());
+  DQUAG_CHECK_EQ(g.numel(), out.numel());
+  const float* py = y.data();
+  const float* pg = g.data();
+  float* po = out.data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] += pg[i] * py[i] * (1.0f - py[i]);
+}
+
+void TanhBackwardInto(const Tensor& y, const Tensor& g, Tensor& out) {
+  DQUAG_CHECK_EQ(y.numel(), out.numel());
+  DQUAG_CHECK_EQ(g.numel(), out.numel());
+  const float* py = y.data();
+  const float* pg = g.data();
+  float* po = out.data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] += pg[i] * (1.0f - py[i] * py[i]);
+}
+
+void ScatterAddAxis1Into(const Tensor& src,
+                         const std::vector<int32_t>& indices, Tensor& out) {
+  int64_t batch, num, cols;
+  AsBatched(src, batch, num, cols);
+  DQUAG_CHECK_EQ(num, static_cast<int64_t>(indices.size()));
+  int64_t out_batch, num_rows, out_cols;
+  AsBatched(out, out_batch, num_rows, out_cols);
+  DQUAG_CHECK_EQ(batch, out_batch);
+  DQUAG_CHECK_EQ(cols, out_cols);
+  const float* ps = src.data();
+  float* po = out.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* from = ps + b * num * cols;
+    float* to = po + b * num_rows * cols;
+    for (int64_t e = 0; e < num; ++e) {
+      const int32_t idx = indices[static_cast<size_t>(e)];
+      DQUAG_CHECK_GE(idx, 0);
+      DQUAG_CHECK_LT(idx, num_rows);
+      const float* row = from + e * cols;
+      float* acc = to + idx * cols;
+      for (int64_t c = 0; c < cols; ++c) acc[c] += row[c];
+    }
+  }
+}
+
+void GatherAddAxis1Into(const Tensor& t, const std::vector<int32_t>& indices,
+                        Tensor& out) {
+  int64_t batch, rows, cols;
+  AsBatched(t, batch, rows, cols);
+  int64_t out_batch, num, out_cols;
+  AsBatched(out, out_batch, num, out_cols);
+  DQUAG_CHECK_EQ(batch, out_batch);
+  DQUAG_CHECK_EQ(cols, out_cols);
+  DQUAG_CHECK_EQ(num, static_cast<int64_t>(indices.size()));
+  const float* pt = t.data();
+  float* po = out.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* from = pt + b * rows * cols;
+    float* to = po + b * num * cols;
+    for (int64_t e = 0; e < num; ++e) {
+      const int32_t idx = indices[static_cast<size_t>(e)];
+      DQUAG_CHECK_GE(idx, 0);
+      DQUAG_CHECK_LT(idx, rows);
+      const float* row = from + idx * cols;
+      float* acc = to + e * cols;
+      for (int64_t c = 0; c < cols; ++c) acc[c] += row[c];
+    }
   }
 }
 

@@ -183,6 +183,59 @@ void SegmentSoftmaxCsrInPlace(Tensor& scores,
                               const std::vector<int64_t>& offsets,
                               const std::vector<int32_t>& order);
 
+// ---- Fused backward kernels (training fast path) ---------------------------
+//
+// Accumulating counterparts of the gradient formulas in autograd/ops.cc:
+// each reads the upstream gradient once and adds (+=) straight into the
+// destination — a tape node's gradient, a parameter's gradient, or a
+// per-shard gradient sink — replacing the allocate-temporary-then-
+// AccumulateGrad pattern. Element counts must match; exact shapes are the
+// caller's contract (gradients are accumulated through Reshape for free).
+
+/// out += s * x (equal numel).
+void AddScaledInto(const Tensor& x, float s, Tensor& out);
+
+/// out += s * a * b (equal numel; the Mul/Square backward).
+void AddProductInto(const Tensor& a, const Tensor& b, float s, Tensor& out);
+
+/// out += broadcast(g): g is out's shape with some axes of size 1, or a
+/// single element. The Sum/SumAll backward without the zeros temporary.
+void BroadcastAddInto(const Tensor& g, Tensor& out);
+
+/// out[k, n] += A^T B with a of shape [*, m, k] (leading axes flattened)
+/// and b [*, m, n]: the dW of a shared-weight matmul, fused into the
+/// accumulation target.
+void MatMulTransAAcc(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out[..., m, k] += A B^T with b [k, n]: the dX of y = x W.
+void MatMulTransBAcc(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out += g where x > 0 (ReLU backward; single pass, no masked copy).
+void ReluBackwardInto(const Tensor& x, const Tensor& g, Tensor& out);
+
+/// out += g * (x > 0 ? 1 : negative_slope).
+void LeakyReluBackwardInto(const Tensor& x, float negative_slope,
+                           const Tensor& g, Tensor& out);
+
+/// out += g * (x > 0 ? 1 : y + alpha), with y = elu(x) saved from forward.
+/// Branch-free inner select so the loop vectorizes.
+void EluBackwardInto(const Tensor& x, const Tensor& y, float alpha,
+                     const Tensor& g, Tensor& out);
+
+/// out += g * y * (1 - y), with y = sigmoid(x) saved from forward.
+void SigmoidBackwardInto(const Tensor& y, const Tensor& g, Tensor& out);
+
+/// out += g * (1 - y^2), with y = tanh(x) saved from forward.
+void TanhBackwardInto(const Tensor& y, const Tensor& g, Tensor& out);
+
+/// out[b, indices[e], :] += src[b, e, :] (GatherAxis1 backward).
+void ScatterAddAxis1Into(const Tensor& src,
+                         const std::vector<int32_t>& indices, Tensor& out);
+
+/// out[b, e, :] += t[b, indices[e], :] (ScatterAddAxis1 backward).
+void GatherAddAxis1Into(const Tensor& t, const std::vector<int32_t>& indices,
+                        Tensor& out);
+
 /// Fused attention aggregation into a column stripe of out:
 ///   out[b, dst[e], col_offset + h] += alpha[b, e] * x[b, src[e], h]
 /// x is [B, N, H_head] (or 2-D), alpha holds B*E elements, out is

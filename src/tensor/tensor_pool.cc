@@ -1,0 +1,109 @@
+#include "tensor/tensor_pool.h"
+
+#include <algorithm>
+
+namespace dquag {
+
+namespace {
+
+thread_local TensorStoragePool* g_active_pool = nullptr;
+
+/// Index of the smallest power-of-two bucket holding `n` floats.
+size_t BucketIndex(size_t n) {
+  size_t bucket = 0;
+  size_t capacity = 1;
+  while (capacity < n) {
+    capacity <<= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+/// Bucket whose entire class fits inside a buffer of capacity `n` — the
+/// floor power of two. Using the ceiling here would park a 100-float buffer
+/// in the 128 class, where an Acquire of 128 would silently reallocate.
+size_t FloorBucketIndex(size_t n) {
+  size_t bucket = 0;
+  while ((size_t{2} << bucket) <= n) ++bucket;
+  return bucket;
+}
+
+constexpr size_t kLastBucket = 39;  // TensorStoragePool::kNumBuckets - 1
+
+}  // namespace
+
+std::vector<float> TensorStoragePool::AcquireCopy(const float* src,
+                                                  size_t numel) {
+  if (numel == 0) return {};
+  for (size_t b = std::min(BucketIndex(numel), kLastBucket); b < kNumBuckets;
+       ++b) {
+    std::vector<std::vector<float>>& bucket = buckets_[b];
+    if (bucket.empty()) continue;
+    std::vector<float> storage = std::move(bucket.back());
+    bucket.pop_back();
+    storage.assign(src, src + numel);  // within capacity: no reallocation
+    return storage;
+  }
+  ++allocations_;
+  std::vector<float> storage;
+  size_t capacity = 1;
+  while (capacity < numel) capacity <<= 1;
+  storage.reserve(capacity);
+  allocated_floats_ += static_cast<int64_t>(capacity);
+  storage.assign(src, src + numel);
+  return storage;
+}
+
+std::vector<float> TensorStoragePool::Acquire(size_t numel) {
+  if (numel == 0) return {};
+  // Scan from the tight-fit bucket upward: a same-size buffer is ideal,
+  // but reusing a larger one beats allocating. Release() re-buckets by
+  // actual capacity, so buffers never lose their class.
+  for (size_t b = std::min(BucketIndex(numel), kLastBucket); b < kNumBuckets;
+       ++b) {
+    std::vector<std::vector<float>>& bucket = buckets_[b];
+    if (bucket.empty()) continue;
+    std::vector<float> storage = std::move(bucket.back());
+    bucket.pop_back();
+    storage.assign(numel, 0.0f);  // within capacity: no reallocation
+    return storage;
+  }
+  ++allocations_;
+  std::vector<float> storage;
+  // Round the fresh allocation up to the bucket capacity so the buffer
+  // can serve every request of its class when it comes back.
+  size_t capacity = 1;
+  while (capacity < numel) capacity <<= 1;
+  storage.reserve(capacity);
+  allocated_floats_ += static_cast<int64_t>(capacity);
+  storage.assign(numel, 0.0f);
+  return storage;
+}
+
+void TensorStoragePool::Release(std::vector<float>&& storage) {
+  if (storage.capacity() == 0) return;
+  std::vector<std::vector<float>>& bucket =
+      buckets_[std::min(FloorBucketIndex(storage.capacity()), kLastBucket)];
+  // Bound the parked population: buffers adopted from outside the pool
+  // (tight-capacity copies, adopted literals) would otherwise accumulate
+  // without limit. Beyond the cap the buffer just frees normally.
+  if (bucket.size() >= kMaxParkedPerBucket) return;
+  bucket.push_back(std::move(storage));
+}
+
+size_t TensorStoragePool::free_buffers() const {
+  size_t total = 0;
+  for (const auto& bucket : buckets_) total += bucket.size();
+  return total;
+}
+
+TensorPoolScope::TensorPoolScope(TensorStoragePool* pool)
+    : previous_(g_active_pool) {
+  g_active_pool = pool;
+}
+
+TensorPoolScope::~TensorPoolScope() { g_active_pool = previous_; }
+
+TensorStoragePool* ActiveTensorPool() { return g_active_pool; }
+
+}  // namespace dquag

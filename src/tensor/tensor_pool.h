@@ -1,0 +1,97 @@
+// Thread-scoped recycling pool for Tensor payload storage.
+//
+// Phase-1 training builds and tears down an autograd tape every step; under
+// the stock allocator that is a heap allocation per op output plus one per
+// node gradient, every step, forever. Buffer lifetimes on the tape
+// interleave (an op output lives until backward finishes, a backward scratch
+// dies immediately), so a cursor-rewind arena like engine/InferenceContext
+// does not fit. Instead the pool recycles at the point every payload dies
+// anyway — the Tensor destructor: while a TensorPoolScope is active on the
+// calling thread, `Tensor(Shape)` draws its buffer from a bucketed free
+// list and `~Tensor` returns it. Once every bucket has reached its
+// high-water population, steady-state training performs zero payload
+// allocations; the allocation counters below make that property testable.
+//
+// Contract: a pool must only ever be active on one thread at a time (the
+// trainer gives each gradient shard its own pool and re-activates it from
+// whichever worker runs the shard). Tensors may outlive the scope that
+// created them — their storage simply leaves the pool's circulation.
+
+#ifndef DQUAG_TENSOR_TENSOR_POOL_H_
+#define DQUAG_TENSOR_TENSOR_POOL_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dquag {
+
+/// Bucketed free list of float buffers, keyed by power-of-two capacity.
+class TensorStoragePool {
+ public:
+  TensorStoragePool() = default;
+  TensorStoragePool(const TensorStoragePool&) = delete;
+  TensorStoragePool& operator=(const TensorStoragePool&) = delete;
+
+  /// A zero-filled buffer of `numel` floats, reusing a pooled buffer of
+  /// sufficient capacity when one exists.
+  std::vector<float> Acquire(size_t numel);
+
+  /// A buffer initialized from [src, src + numel) in one pass — the copy
+  /// path's variant, skipping Acquire's zero-fill-then-overwrite.
+  std::vector<float> AcquireCopy(const float* src, size_t numel);
+
+  /// Returns a buffer to its capacity bucket. Buffers below the pooling
+  /// threshold are dropped (scalars are cheaper to reallocate than to
+  /// track).
+  void Release(std::vector<float>&& storage);
+
+  /// Times Acquire had to heap-allocate a fresh buffer. Stable across
+  /// steps == the hot path has stopped allocating.
+  int64_t allocations() const { return allocations_; }
+
+  /// Total floats ever heap-allocated by this pool (monotone; stable
+  /// across steps after warm-up).
+  int64_t allocated_floats() const { return allocated_floats_; }
+
+  /// Buffers currently parked in the free list.
+  size_t free_buffers() const;
+
+ private:
+  // Capacities are rounded up to powers of two so Release can find the
+  // bucket from capacity() alone. 2^40 floats caps the addressable range.
+  // Every non-empty payload pools — even bias-sized vectors and loss
+  // scalars recur each step, and an unpooled class would grow the
+  // allocation counter forever.
+  static constexpr size_t kNumBuckets = 40;
+  // Parked buffers per bucket are capped so foreign buffers (released into
+  // the scope but never acquired from it) cannot grow the pool without
+  // bound; overflow frees normally.
+  static constexpr size_t kMaxParkedPerBucket = 512;
+
+  std::array<std::vector<std::vector<float>>, kNumBuckets> buckets_;
+  int64_t allocations_ = 0;
+  int64_t allocated_floats_ = 0;
+};
+
+/// RAII activation of a pool on the calling thread. Nests; the previous
+/// pool (usually none) is restored on destruction.
+class TensorPoolScope {
+ public:
+  explicit TensorPoolScope(TensorStoragePool* pool);
+  ~TensorPoolScope();
+  TensorPoolScope(const TensorPoolScope&) = delete;
+  TensorPoolScope& operator=(const TensorPoolScope&) = delete;
+
+ private:
+  TensorStoragePool* previous_;
+};
+
+/// The pool active on this thread, or nullptr. Consulted by the Tensor
+/// constructor/destructor (tensor.cc).
+TensorStoragePool* ActiveTensorPool();
+
+}  // namespace dquag
+
+#endif  // DQUAG_TENSOR_TENSOR_POOL_H_

@@ -96,6 +96,26 @@ void ParallelFor(size_t begin, size_t end,
   pool.Wait();
 }
 
+void RunTasksAndWait(ThreadPool& pool, int64_t count,
+                     const std::function<void(int64_t)>& fn) {
+  if (count <= 1 || pool.num_threads() <= 1 || inside_pool_worker) {
+    for (int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::mutex mutex;
+  std::condition_variable done;
+  int64_t remaining = count;
+  for (int64_t i = 0; i < count; ++i) {
+    pool.Submit([&, i] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(mutex);
+      if (--remaining == 0) done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return remaining == 0; });
+}
+
 void ParallelForChunked(size_t begin, size_t end,
                         const std::function<void(size_t, size_t)>& fn,
                         size_t min_chunk) {

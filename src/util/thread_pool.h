@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -66,6 +67,15 @@ void ParallelFor(size_t begin, size_t end,
 void ParallelForChunked(size_t begin, size_t end,
                         const std::function<void(size_t, size_t)>& fn,
                         size_t min_chunk = 1);
+
+/// Runs fn(i) for i in [0, count) as `count` tasks on `pool` and waits on a
+/// PRIVATE latch — unlike ParallelFor/pool.Wait(), completion never depends
+/// on other submitters' in-flight work, so concurrent pool users cannot
+/// stall the caller. Degrades to inline execution when count <= 1, the pool
+/// has a single thread, or the caller is itself a pool worker (nested
+/// fan-out would wait on the pool from inside it).
+void RunTasksAndWait(ThreadPool& pool, int64_t count,
+                     const std::function<void(int64_t)>& fn);
 
 }  // namespace dquag
 
