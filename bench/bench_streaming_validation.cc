@@ -1,0 +1,226 @@
+// Streaming vs whole-table Phase-2 validation: throughput and memory.
+//
+// Trains a small pipeline, writes a synthetic NY-Taxi batch to a CSV file,
+// then validates it two ways:
+//   * whole-table — read + parse the full file into one Table, Validate();
+//   * streamed    — CsvChunkReader + ValidateStream, bounded in-flight
+//                   chunks across the thread pool, file never materialized.
+// Reports wall-clock rows/s for both, verifies the verdicts agree exactly,
+// and demonstrates the memory bound: the streamed path's peak resident
+// chunk rows is O(max_in_flight * chunk_rows) and INDEPENDENT of the total
+// row count, while the whole-table path's working set grows linearly.
+// Peak process RSS (VmHWM) is reported for context when /proc is available.
+//
+// --json[=path] writes a BENCH_streaming.json machine-readable summary
+// (default path: BENCH_streaming.json). DQUAG_BENCH_FAST=1 shrinks the
+// workload. Exits non-zero if streamed and whole-table verdicts diverge or
+// the memory bound is violated — CI runs this as a regression gate.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "bench_util.h"
+#include "core/validation_service.h"
+#include "data/error_injector.h"
+#include "data/generators.h"
+#include "data/table_chunk_reader.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace dquag {
+namespace {
+
+/// Peak resident set size in KiB from /proc/self/status, or 0 off-Linux.
+int64_t PeakRssKib() {
+  std::ifstream in("/proc/self/status");
+  std::string key;
+  while (in >> key) {
+    if (key == "VmHWM:") {
+      int64_t kib = 0;
+      in >> kib;
+      return kib;
+    }
+    in.ignore(256, '\n');
+  }
+  return 0;
+}
+
+struct StreamRun {
+  double seconds = 0.0;
+  int64_t rows = 0;
+  int64_t flagged = 0;
+  int64_t peak_buffered_rows = 0;
+  bool is_dirty = false;
+};
+
+int RunAll(const char* json_path) {
+  const bool fast = bench::FastMode();
+  const int64_t train_rows = bench::EnvInt("DQUAG_TRAIN_ROWS", 512);
+  const int64_t epochs = bench::EnvInt("DQUAG_EPOCHS", fast ? 2 : 6);
+  const int64_t rows = bench::EnvInt("DQUAG_ROWS", fast ? 4000 : 50000);
+  const int64_t chunk_rows = bench::EnvInt("DQUAG_CHUNK_ROWS", 2048);
+  const int64_t max_in_flight = bench::EnvInt("DQUAG_MAX_IN_FLIGHT", 4);
+
+  std::printf("=== streaming vs whole-table validation ===\n");
+  std::printf("(%lld rows, chunk %lld, max in-flight %lld, %u hardware "
+              "threads)\n",
+              static_cast<long long>(rows),
+              static_cast<long long>(chunk_rows),
+              static_cast<long long>(max_in_flight),
+              std::thread::hardware_concurrency());
+
+  Rng rng(41);
+  Table clean = datasets::GenerateNyTaxi(train_rows, rng, /*dims=*/10);
+  DquagPipelineOptions options;
+  options.config.epochs = epochs;
+  options.config.seed = 41;
+  DquagPipeline pipeline(std::move(options));
+  DQUAG_CHECK(pipeline.Fit(clean).ok());
+  ValidationService service(std::move(pipeline));
+  const Schema& schema = service.pipeline().preprocessor().schema();
+
+  // One dirty batch, persisted as the CSV "incoming data" both paths read.
+  Table incoming = datasets::GenerateNyTaxi(rows, rng, /*dims=*/10);
+  {
+    ErrorInjector injector(43);
+    incoming =
+        injector.InjectNumericAnomalies(incoming, {"fare_amount"}, 0.1)
+            .table;
+  }
+  const std::string path = "bench_streaming_input.csv";
+  DQUAG_CHECK(WriteCsvFile(incoming.ToCsv(), path).ok());
+  incoming = Table();  // the file is the source of truth from here on
+
+  // Whole-table path: parse everything, validate once.
+  Stopwatch whole_timer;
+  auto doc = ReadCsvFile(path);
+  DQUAG_CHECK(doc.ok());
+  auto whole_table = Table::FromCsv(schema, *doc);
+  DQUAG_CHECK(whole_table.ok());
+  const BatchVerdict whole_verdict = service.Validate(*whole_table);
+  const double whole_seconds = whole_timer.ElapsedSeconds();
+
+  // Streamed path at two stream lengths: full file, and a half-length
+  // prefix re-written to its own file. Equal peaks => O(chunk) memory,
+  // independent of stream length.
+  auto run_stream = [&](const std::string& file) {
+    StreamRun run;
+    Stopwatch timer;
+    CsvChunkReaderOptions reader_options;
+    reader_options.chunk_rows = chunk_rows;
+    auto reader = CsvChunkReader::Open(file, schema, reader_options);
+    DQUAG_CHECK(reader.ok());
+    StreamingValidatorOptions stream_options;
+    stream_options.max_in_flight = max_in_flight;
+    auto verdict = service.ValidateStream(**reader, nullptr, stream_options);
+    DQUAG_CHECK(verdict.ok());
+    run.seconds = timer.ElapsedSeconds();
+    run.rows = verdict->total_rows;
+    run.flagged = static_cast<int64_t>(verdict->flagged_rows.size());
+    run.peak_buffered_rows = verdict->peak_buffered_rows;
+    run.is_dirty = verdict->is_dirty;
+    return run;
+  };
+
+  const std::string half_path = "bench_streaming_input_half.csv";
+  DQUAG_CHECK(
+      WriteCsvFile(whole_table->SliceRows(0, rows / 2).ToCsv(), half_path)
+          .ok());
+
+  const StreamRun half = run_stream(half_path);
+  const StreamRun full = run_stream(path);
+
+  const double whole_rows_per_sec =
+      static_cast<double>(rows) / whole_seconds;
+  const double stream_rows_per_sec =
+      static_cast<double>(full.rows) / full.seconds;
+  const int64_t bound = max_in_flight * chunk_rows;
+
+  std::printf("%16s  %10s  %12s  %18s\n", "path", "seconds", "rows/s",
+              "peak chunk rows");
+  std::printf("%16s  %10.3f  %12.0f  %18s\n", "whole-table", whole_seconds,
+              whole_rows_per_sec, "(all rows)");
+  std::printf("%16s  %10.3f  %12.0f  %18lld\n", "streamed", full.seconds,
+              stream_rows_per_sec,
+              static_cast<long long>(full.peak_buffered_rows));
+  std::printf("half-length stream peak: %lld rows (full: %lld, bound: %lld)"
+              " — O(chunk), row-count independent\n",
+              static_cast<long long>(half.peak_buffered_rows),
+              static_cast<long long>(full.peak_buffered_rows),
+              static_cast<long long>(bound));
+  std::printf("flagged: %lld/%lld rows; %s; peak RSS %lld KiB\n",
+              static_cast<long long>(full.flagged),
+              static_cast<long long>(full.rows),
+              full.is_dirty ? "DIRTY" : "clean",
+              static_cast<long long>(PeakRssKib()));
+
+  bool failed = false;
+  if (full.rows != rows ||
+      full.flagged != static_cast<int64_t>(whole_verdict.flagged_rows.size()) ||
+      full.is_dirty != whole_verdict.is_dirty) {
+    std::fprintf(stderr,
+                 "FAIL: streamed verdict diverged from whole-table "
+                 "(rows %lld vs %lld, flagged %lld vs %zu)\n",
+                 static_cast<long long>(full.rows),
+                 static_cast<long long>(rows),
+                 static_cast<long long>(full.flagged),
+                 whole_verdict.flagged_rows.size());
+    failed = true;
+  }
+  if (full.peak_buffered_rows > bound || half.peak_buffered_rows > bound) {
+    std::fprintf(stderr,
+                 "FAIL: peak buffered rows exceeded the "
+                 "max_in_flight * chunk_rows bound\n");
+    failed = true;
+  }
+
+  if (json_path != nullptr) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"rows\": " << rows << ",\n"
+        << "  \"chunk_rows\": " << chunk_rows << ",\n"
+        << "  \"max_in_flight\": " << max_in_flight << ",\n"
+        << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "  \"whole_seconds\": " << whole_seconds << ",\n"
+        << "  \"stream_seconds\": " << full.seconds << ",\n"
+        << "  \"whole_rows_per_sec\": " << whole_rows_per_sec << ",\n"
+        << "  \"stream_rows_per_sec\": " << stream_rows_per_sec << ",\n"
+        << "  \"peak_buffered_rows_full\": " << full.peak_buffered_rows
+        << ",\n"
+        << "  \"peak_buffered_rows_half\": " << half.peak_buffered_rows
+        << ",\n"
+        << "  \"peak_buffered_rows_bound\": " << bound << ",\n"
+        << "  \"flagged_rows\": " << full.flagged << ",\n"
+        << "  \"is_dirty\": " << (full.is_dirty ? "true" : "false") << ",\n"
+        << "  \"peak_rss_kib\": " << PeakRssKib() << ",\n"
+        << "  \"verdict_parity\": " << (failed ? "false" : "true") << "\n"
+        << "}\n";
+    std::printf("wrote %s\n", json_path);
+  }
+
+  std::remove(path.c_str());
+  std::remove(half_path.c_str());
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace dquag
+
+int main(int argc, char** argv) {
+  dquag::SetLogLevel(dquag::LogLevel::kWarning);
+  const char* json_path = nullptr;
+  std::string json_storage;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_streaming.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_storage = argv[i] + 7;
+      json_path = json_storage.c_str();
+    }
+  }
+  return dquag::RunAll(json_path);
+}

@@ -15,7 +15,7 @@ Explainer::Explainer(const DquagPipeline* pipeline) : pipeline_(pipeline) {
 
 InstanceExplanation Explainer::Explain(const Table& batch, size_t row) const {
   DQUAG_CHECK_LT(static_cast<int64_t>(row), batch.num_rows());
-  const Table single = batch.SelectRows({row});
+  const Table single = batch.SliceRows(static_cast<int64_t>(row), 1);
   const Tensor x = pipeline_->preprocessor().Transform(single);
   const DquagModel& model = pipeline_->model();
 

@@ -1,5 +1,7 @@
 #include "core/monitor.h"
 
+#include "core/streaming_validator.h"
+
 namespace dquag {
 
 QualityMonitor::QualityMonitor(const DquagPipeline* pipeline,
@@ -36,6 +38,15 @@ MonitorObservation QualityMonitor::ObserveVerdict(const BatchVerdict& verdict) {
       ewma_ > alarm_level;
   history_.push_back(observation);
   return observation;
+}
+
+MonitorObservation QualityMonitor::ObserveStreamVerdict(
+    const StreamVerdict& verdict) {
+  BatchVerdict equivalent;
+  equivalent.is_dirty = verdict.is_dirty;
+  equivalent.flagged_fraction = verdict.flagged_fraction;
+  equivalent.threshold = verdict.threshold;
+  return ObserveVerdict(equivalent);
 }
 
 bool QualityMonitor::alarming() const {

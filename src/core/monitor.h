@@ -18,6 +18,8 @@
 
 namespace dquag {
 
+struct StreamVerdict;  // core/streaming_validator.h
+
 struct MonitorOptions {
   /// EWMA smoothing factor in (0, 1]; 1 = no smoothing.
   double ewma_alpha = 0.3;
@@ -49,6 +51,12 @@ class QualityMonitor {
   /// Updates the stream state from an already-computed verdict (used by
   /// the ValidationService, which validates in parallel before reporting).
   MonitorObservation ObserveVerdict(const BatchVerdict& verdict);
+
+  /// Folds a whole streamed-validation pass in as ONE observation. The
+  /// monitor only consumes the flagged fraction and dirty bit, both of
+  /// which the stream aggregates identically to the batch path, so this
+  /// leaves the monitor in exactly the state ObserveVerdict would.
+  MonitorObservation ObserveStreamVerdict(const StreamVerdict& verdict);
 
   /// All observations so far, oldest first.
   const std::vector<MonitorObservation>& history() const { return history_; }

@@ -82,10 +82,50 @@ RepairResult ValidationService::ValidateAndRepair(const Table& batch) const {
   return Repair(batch, Validate(batch));
 }
 
+StatusOr<StreamVerdict> ValidationService::ValidateStream(
+    TableChunkReader& reader,
+    const StreamingValidator::ChunkCallback& callback,
+    StreamingValidatorOptions stream_options) const {
+  StreamingValidator streamer(&pipeline_, stream_options);
+  auto verdict = streamer.Run(reader, callback);
+  if (!verdict.ok()) return verdict.status();
+
+  batches_validated_.fetch_add(1, std::memory_order_relaxed);
+  rows_validated_.fetch_add(verdict->total_rows, std::memory_order_relaxed);
+  rows_flagged_.fetch_add(
+      static_cast<int64_t>(verdict->flagged_rows.size()),
+      std::memory_order_relaxed);
+  if (verdict->is_dirty) {
+    dirty_batches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (stream_options.repair) {
+    batches_repaired_.fetch_add(1, std::memory_order_relaxed);
+    cells_repaired_.fetch_add(verdict->cells_repaired,
+                              std::memory_order_relaxed);
+  }
+  return verdict;
+}
+
+StatusOr<StreamVerdict> ValidationService::RepairStream(
+    TableChunkReader& reader,
+    const StreamingValidator::ChunkCallback& callback,
+    StreamingValidatorOptions stream_options) const {
+  stream_options.repair = true;
+  return ValidateStream(reader, callback, stream_options);
+}
+
 MonitorObservation ValidationService::Observe(const Table& batch) {
   const BatchVerdict verdict = Validate(batch);
   std::lock_guard<std::mutex> lock(monitor_mutex_);
   return monitor_.ObserveVerdict(verdict);
+}
+
+StatusOr<MonitorObservation> ValidationService::ObserveStream(
+    TableChunkReader& reader) {
+  auto verdict = ValidateStream(reader);
+  if (!verdict.ok()) return verdict.status();
+  std::lock_guard<std::mutex> lock(monitor_mutex_);
+  return monitor_.ObserveStreamVerdict(*verdict);
 }
 
 bool ValidationService::alarming() const {

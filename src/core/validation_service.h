@@ -28,6 +28,7 @@
 
 #include "core/monitor.h"
 #include "core/pipeline.h"
+#include "core/streaming_validator.h"
 
 namespace dquag {
 
@@ -75,10 +76,34 @@ class ValidationService {
   /// Validate + Repair in one call.
   RepairResult ValidateAndRepair(const Table& batch) const;
 
+  /// Streaming, out-of-core validation: drains `reader` chunk by chunk
+  /// through the StreamingValidator (bounded in-flight pipeline over the
+  /// process pool, ordered per-chunk callbacks on the calling thread).
+  /// Bit-identical to Validate on the fully materialized table; memory
+  /// stays O(chunks in flight * chunk_rows). Thread-safe; counts the whole
+  /// stream as one batch in stats().
+  StatusOr<StreamVerdict> ValidateStream(
+      TableChunkReader& reader,
+      const StreamingValidator::ChunkCallback& callback = nullptr,
+      StreamingValidatorOptions stream_options = {}) const;
+
+  /// ValidateStream + per-chunk repair: each emitted chunk carries a
+  /// RepairResult for its flagged cells (row-local, so chunk repairs concat
+  /// to exactly the whole-table repair). Repair totals land in stats().
+  StatusOr<StreamVerdict> RepairStream(
+      TableChunkReader& reader,
+      const StreamingValidator::ChunkCallback& callback = nullptr,
+      StreamingValidatorOptions stream_options = {}) const;
+
   /// Validates the batch and feeds the verdict into the streaming quality
   /// monitor (EWMA over flagged fractions; see core/monitor.h). Inference
   /// runs in parallel; only the monitor update itself is serialized.
   MonitorObservation Observe(const Table& batch);
+
+  /// Streaming Observe: validates the stream out-of-core, then feeds the
+  /// whole-stream flagged fraction to the monitor as ONE observation —
+  /// identical monitor state to Observe on the materialized table.
+  StatusOr<MonitorObservation> ObserveStream(TableChunkReader& reader);
 
   /// True if the monitor's last observation raised the sustained-degradation
   /// alarm.

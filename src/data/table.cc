@@ -138,20 +138,42 @@ Table Table::SelectRows(const std::vector<size_t>& row_indices) const {
 }
 
 void Table::AppendRows(const Table& other) {
+  AppendRows(other, 0, other.num_rows_);
+}
+
+void Table::AppendRows(const Table& other, int64_t start, int64_t count) {
   DQUAG_CHECK(schema_ == other.schema_);
+  DQUAG_CHECK_GE(start, 0);
+  DQUAG_CHECK_GE(count, 0);
+  DQUAG_CHECK_LE(start + count, other.num_rows_);
+  const size_t lo = static_cast<size_t>(start);
+  const size_t hi = static_cast<size_t>(start + count);
   for (int64_t c = 0; c < num_columns(); ++c) {
     const size_t ci = static_cast<size_t>(c);
     if (schema_.column(c).type == ColumnType::kNumeric) {
       numeric_columns_[ci].insert(numeric_columns_[ci].end(),
-                                  other.numeric_columns_[ci].begin(),
-                                  other.numeric_columns_[ci].end());
+                                  other.numeric_columns_[ci].begin() + lo,
+                                  other.numeric_columns_[ci].begin() + hi);
     } else {
-      categorical_columns_[ci].insert(categorical_columns_[ci].end(),
-                                      other.categorical_columns_[ci].begin(),
-                                      other.categorical_columns_[ci].end());
+      categorical_columns_[ci].insert(
+          categorical_columns_[ci].end(),
+          other.categorical_columns_[ci].begin() + lo,
+          other.categorical_columns_[ci].begin() + hi);
     }
   }
-  num_rows_ += other.num_rows_;
+  num_rows_ += count;
+}
+
+Table Table::SliceRows(int64_t start, int64_t count) const {
+  Table out(schema_);
+  out.AppendRows(*this, start, count);
+  return out;
+}
+
+void Table::Clear() {
+  for (auto& column : numeric_columns_) column.clear();
+  for (auto& column : categorical_columns_) column.clear();
+  num_rows_ = 0;
 }
 
 CsvDocument Table::ToCsv() const {
@@ -181,6 +203,42 @@ CsvDocument Table::ToCsv() const {
   return doc;
 }
 
+Status ParseCsvRow(const Schema& schema,
+                   const std::vector<std::string>& fields, int64_t row_number,
+                   std::vector<double>* numeric_cells,
+                   std::vector<std::string>* categorical_cells) {
+  numeric_cells->clear();
+  categorical_cells->clear();
+  if (static_cast<int64_t>(fields.size()) != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "CSV row " + std::to_string(row_number) + " has " +
+        std::to_string(fields.size()) + " fields, schema expects " +
+        std::to_string(schema.num_columns()));
+  }
+  for (int64_t c = 0; c < schema.num_columns(); ++c) {
+    const std::string& cell = fields[static_cast<size_t>(c)];
+    if (schema.column(c).type == ColumnType::kNumeric) {
+      const std::string trimmed = Trim(cell);
+      if (trimmed.empty()) {
+        numeric_cells->push_back(MissingValue());
+      } else {
+        char* end = nullptr;
+        const double v = std::strtod(trimmed.c_str(), &end);
+        if (end == trimmed.c_str()) {
+          return Status::InvalidArgument(
+              "CSV row " + std::to_string(row_number) + ", column '" +
+              schema.column(c).name + "' (index " + std::to_string(c) +
+              "): non-numeric cell '" + cell + "'");
+        }
+        numeric_cells->push_back(v);
+      }
+    } else {
+      categorical_cells->push_back(cell);
+    }
+  }
+  return Status::Ok();
+}
+
 StatusOr<Table> Table::FromCsv(const Schema& schema, const CsvDocument& doc) {
   if (static_cast<int64_t>(doc.header.size()) != schema.num_columns()) {
     return Status::InvalidArgument("CSV width does not match schema");
@@ -195,29 +253,12 @@ StatusOr<Table> Table::FromCsv(const Schema& schema, const CsvDocument& doc) {
     }
   }
   Table table(schema);
-  for (const auto& row : doc.rows) {
-    std::vector<double> numeric_cells;
-    std::vector<std::string> categorical_cells;
-    for (int64_t c = 0; c < schema.num_columns(); ++c) {
-      const std::string& cell = row[static_cast<size_t>(c)];
-      if (schema.column(c).type == ColumnType::kNumeric) {
-        const std::string trimmed = Trim(cell);
-        if (trimmed.empty()) {
-          numeric_cells.push_back(MissingValue());
-        } else {
-          char* end = nullptr;
-          const double v = std::strtod(trimmed.c_str(), &end);
-          if (end == trimmed.c_str()) {
-            return Status::InvalidArgument("non-numeric cell '" + cell +
-                                           "' in numeric column " +
-                                           schema.column(c).name);
-          }
-          numeric_cells.push_back(v);
-        }
-      } else {
-        categorical_cells.push_back(cell);
-      }
-    }
+  std::vector<double> numeric_cells;
+  std::vector<std::string> categorical_cells;
+  for (size_t r = 0; r < doc.rows.size(); ++r) {
+    DQUAG_RETURN_IF_ERROR(ParseCsvRow(schema, doc.rows[r],
+                                      static_cast<int64_t>(r) + 1,
+                                      &numeric_cells, &categorical_cells));
     table.AppendRow(numeric_cells, categorical_cells);
   }
   return table;

@@ -56,6 +56,17 @@ class Schema {
 inline bool IsMissing(double value) { return std::isnan(value); }
 inline double MissingValue() { return std::nan(""); }
 
+/// Parses one CSV record (fields in schema order) into per-type cell lists
+/// suitable for Table::AppendRow. `row_number` is the 1-based data-row index
+/// used purely for error context: failures name the offending row AND column
+/// instead of silently dropping or truncating the record. Shared by
+/// Table::FromCsv and the streaming CsvChunkReader so both parse
+/// identically. The output vectors are cleared first.
+Status ParseCsvRow(const Schema& schema,
+                   const std::vector<std::string>& fields, int64_t row_number,
+                   std::vector<double>* numeric_cells,
+                   std::vector<std::string>* categorical_cells);
+
 class Table {
  public:
   Table() = default;
@@ -89,8 +100,19 @@ class Table {
   /// New table containing the given rows (in order, duplicates allowed).
   Table SelectRows(const std::vector<size_t>& row_indices) const;
 
+  /// New table containing the contiguous row range [start, start + count).
+  Table SliceRows(int64_t start, int64_t count) const;
+
   /// Appends all rows of `other` (same schema required).
   void AppendRows(const Table& other);
+
+  /// Appends rows [start, start + count) of `other` (same schema required).
+  /// The contiguous-range workhorse behind SliceRows and the chunk readers.
+  void AppendRows(const Table& other, int64_t start, int64_t count);
+
+  /// Drops all rows but keeps the schema and the columns' capacity — a
+  /// reusable chunk buffer refills without reallocating.
+  void Clear();
 
   /// CSV round trip. Numeric NaN serializes as the empty field.
   CsvDocument ToCsv() const;

@@ -1,0 +1,132 @@
+#include "data/table_chunk_reader.h"
+
+#include <algorithm>
+
+namespace dquag {
+
+namespace {
+
+/// Adopts or resets the caller's chunk buffer for a reader's schema.
+Status PrepareChunk(const Schema& schema, Table& chunk) {
+  if (chunk.schema().num_columns() == 0 && chunk.num_rows() == 0) {
+    chunk = Table(schema);
+    return Status::Ok();
+  }
+  if (!(chunk.schema() == schema)) {
+    return Status::InvalidArgument(
+        "chunk buffer schema does not match the reader's schema");
+  }
+  chunk.Clear();
+  return Status::Ok();
+}
+
+}  // namespace
+
+TableViewChunkReader::TableViewChunkReader(const Table* table,
+                                           int64_t chunk_rows)
+    : table_(table), chunk_rows_(chunk_rows) {
+  DQUAG_CHECK(table_ != nullptr);
+  DQUAG_CHECK_GT(chunk_rows_, 0);
+}
+
+StatusOr<int64_t> TableViewChunkReader::Next(Table& chunk) {
+  DQUAG_RETURN_IF_ERROR(PrepareChunk(table_->schema(), chunk));
+  const int64_t remaining = table_->num_rows() - position_;
+  const int64_t count = std::min(chunk_rows_, remaining);
+  if (count <= 0) return static_cast<int64_t>(0);
+  chunk.AppendRows(*table_, position_, count);
+  position_ += count;
+  return count;
+}
+
+CsvChunkReader::CsvChunkReader(Schema schema, CsvChunkReaderOptions options)
+    : schema_(std::move(schema)), options_(options) {
+  DQUAG_CHECK_GT(options_.chunk_rows, 0);
+  DQUAG_CHECK_GT(options_.io_block_bytes, 0u);
+  io_block_.resize(options_.io_block_bytes);
+}
+
+StatusOr<std::unique_ptr<CsvChunkReader>> CsvChunkReader::Open(
+    const std::string& path, const Schema& schema,
+    CsvChunkReaderOptions options) {
+  std::unique_ptr<CsvChunkReader> reader(
+      new CsvChunkReader(schema, options));
+  reader->path_ = path;
+  reader->file_.open(path, std::ios::binary);
+  if (!reader->file_) return Status::IoError("cannot open " + path);
+
+  // Pull blocks until the header record is complete, then check it.
+  DQUAG_RETURN_IF_ERROR(reader->FillPending());
+  if (reader->pending_.empty()) {
+    return Status::InvalidArgument("empty CSV document: " + path);
+  }
+  const std::vector<std::string>& header = reader->pending_.front();
+  if (static_cast<int64_t>(header.size()) != schema.num_columns()) {
+    return Status::InvalidArgument(
+        path + ": CSV header has " + std::to_string(header.size()) +
+        " columns, schema expects " +
+        std::to_string(schema.num_columns()));
+  }
+  for (int64_t c = 0; c < schema.num_columns(); ++c) {
+    if (header[static_cast<size_t>(c)] != schema.column(c).name) {
+      return Status::InvalidArgument(
+          path + ": CSV header mismatch at column " + std::to_string(c) +
+          ": got '" + header[static_cast<size_t>(c)] + "', want '" +
+          schema.column(c).name + "'");
+    }
+  }
+  reader->pending_cursor_ = 1;  // header consumed
+  reader->header_checked_ = true;
+  return reader;
+}
+
+Status CsvChunkReader::FillPending() {
+  // Compact already-delivered records so pending_ stays O(chunk_rows).
+  if (pending_cursor_ > 0) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<int64_t>(pending_cursor_));
+    pending_cursor_ = 0;
+  }
+  while (pending_.empty() && !eof_) {
+    file_.read(io_block_.data(),
+               static_cast<std::streamsize>(io_block_.size()));
+    const std::streamsize got = file_.gcount();
+    if (got > 0) {
+      DQUAG_RETURN_IF_ERROR(
+          parser_.Consume(io_block_.data(), static_cast<size_t>(got),
+                          &pending_));
+    }
+    if (file_.eof()) {
+      eof_ = true;
+      DQUAG_RETURN_IF_ERROR(parser_.Finish(&pending_));
+    } else if (!file_) {
+      return Status::IoError("read failed for " + path_);
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<int64_t> CsvChunkReader::Next(Table& chunk) {
+  DQUAG_CHECK(header_checked_);
+  DQUAG_RETURN_IF_ERROR(PrepareChunk(schema_, chunk));
+  int64_t delivered = 0;
+  while (delivered < options_.chunk_rows) {
+    if (pending_cursor_ >= pending_.size()) {
+      if (eof_) break;
+      DQUAG_RETURN_IF_ERROR(FillPending());
+      if (pending_.empty()) break;
+    }
+    const std::vector<std::string>& record = pending_[pending_cursor_];
+    // 1-based data-row number for error context (header not counted).
+    DQUAG_RETURN_IF_ERROR(ParseCsvRow(schema_, record,
+                                      rows_delivered_ + delivered + 1,
+                                      &numeric_cells_, &categorical_cells_));
+    chunk.AppendRow(numeric_cells_, categorical_cells_);
+    ++pending_cursor_;
+    ++delivered;
+  }
+  rows_delivered_ += delivered;
+  return delivered;
+}
+
+}  // namespace dquag

@@ -1,0 +1,113 @@
+// Bounded-memory, chunked table ingestion for streaming validation.
+//
+// A TableChunkReader hands out a table's rows as consecutive blocks of at
+// most chunk_rows rows, written into a caller-supplied reusable Table buffer
+// (Clear() + AppendRow keeps column capacity, so a warmed-up chunk buffer
+// refills without reallocating). Two implementations:
+//   * TableViewChunkReader — slices an in-memory Table (tests, serve-sim).
+//   * CsvChunkReader       — incremental CSV file parse; memory stays
+//     O(chunk_rows) no matter how large the file is. Header is checked
+//     against the schema up front; malformed rows fail with row/column
+//     context instead of being dropped.
+//
+// Readers are stateful cursors and not thread-safe; give each concurrent
+// stream its own reader.
+
+#ifndef DQUAG_DATA_TABLE_CHUNK_READER_H_
+#define DQUAG_DATA_TABLE_CHUNK_READER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "util/csv.h"
+
+namespace dquag {
+
+class TableChunkReader {
+ public:
+  virtual ~TableChunkReader() = default;
+
+  /// Clears `chunk` (schema must match schema(); an empty default Table is
+  /// adopted) and fills it with the next block of up to chunk_rows rows.
+  /// Returns the number of rows delivered; 0 means end of stream.
+  virtual StatusOr<int64_t> Next(Table& chunk) = 0;
+
+  /// Schema every delivered chunk conforms to.
+  virtual const Schema& schema() const = 0;
+
+  /// Rows delivered so far (the global row offset of the next chunk).
+  virtual int64_t rows_delivered() const = 0;
+
+  /// Maximum rows per chunk.
+  virtual int64_t chunk_rows() const = 0;
+};
+
+/// Streams an existing in-memory Table in contiguous slices. The source
+/// table must outlive the reader and stay unmodified while streaming.
+class TableViewChunkReader final : public TableChunkReader {
+ public:
+  TableViewChunkReader(const Table* table, int64_t chunk_rows);
+
+  StatusOr<int64_t> Next(Table& chunk) override;
+  const Schema& schema() const override { return table_->schema(); }
+  int64_t rows_delivered() const override { return position_; }
+  int64_t chunk_rows() const override { return chunk_rows_; }
+
+ private:
+  const Table* table_;
+  int64_t chunk_rows_;
+  int64_t position_ = 0;
+};
+
+struct CsvChunkReaderOptions {
+  /// Rows per delivered chunk: the unit of validation and the memory bound.
+  int64_t chunk_rows = 4096;
+  /// Bytes per file read; tokenization is incremental so this only trades
+  /// syscalls against buffer size.
+  size_t io_block_bytes = 1 << 16;
+};
+
+/// Out-of-core CSV reader: parses the file block by block, never holding
+/// more than one chunk of rows (plus one IO block) in memory.
+class CsvChunkReader final : public TableChunkReader {
+ public:
+  /// Opens `path` and consumes the header, which must match `schema` by
+  /// name and order.
+  static StatusOr<std::unique_ptr<CsvChunkReader>> Open(
+      const std::string& path, const Schema& schema,
+      CsvChunkReaderOptions options = {});
+
+  StatusOr<int64_t> Next(Table& chunk) override;
+  const Schema& schema() const override { return schema_; }
+  int64_t rows_delivered() const override { return rows_delivered_; }
+  int64_t chunk_rows() const override { return options_.chunk_rows; }
+
+ private:
+  CsvChunkReader(Schema schema, CsvChunkReaderOptions options);
+
+  /// Reads file blocks until at least one more record is pending or EOF.
+  Status FillPending();
+
+  Schema schema_;
+  CsvChunkReaderOptions options_;
+  std::string path_;
+  std::ifstream file_;
+  CsvStreamParser parser_;
+  std::vector<std::vector<std::string>> pending_;  // parsed, undelivered
+  size_t pending_cursor_ = 0;
+  std::vector<char> io_block_;
+  bool eof_ = false;
+  bool header_checked_ = false;
+  int64_t rows_delivered_ = 0;
+  // Reused per-row cell scratch (ParseCsvRow clears them).
+  std::vector<double> numeric_cells_;
+  std::vector<std::string> categorical_cells_;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_DATA_TABLE_CHUNK_READER_H_

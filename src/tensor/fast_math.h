@@ -11,9 +11,29 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 
 namespace dquag {
+
+/// acc + a * b with an EXPLICIT contraction choice, so every code path that
+/// accumulates the same mathematical sum produces the same bits. Kernels
+/// with row-position-dependent paths (e.g. MatMulKernel's 4-row tile vs its
+/// remainder loops) must use this instead of `acc += a * b`: under
+/// -ffp-contract=fast the compiler is free to fuse one loop and not
+/// another, which would make a row's low bits depend on where it sits in
+/// the batch — breaking the streaming-validation contract that any
+/// chunking of a batch validates bit-identically.
+inline float FusedMulAdd(float a, float b, float acc) {
+#if defined(__FMA__) || defined(__ARM_FEATURE_FMA)
+  // Hardware FMA: one rounding, everywhere.
+  return std::fma(a, b, acc);
+#else
+  // No FMA hardware: nothing for the compiler to contract to, so plain
+  // mul+add (two roundings) is already deterministic across loops.
+  return acc + a * b;
+#endif
+}
 
 /// expf via round-to-nearest range reduction (x = n ln2 + f, |f| <= ln2/2),
 /// a degree-6 polynomial for e^f, and exponent-bit stuffing for 2^n.

@@ -304,7 +304,9 @@ void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
     for (int64_t i = 0; i < m; ++i) {
       const float* arow = a + i * k;
       float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * b[kk];
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc = FusedMulAdd(arow[kk], b[kk], acc);
+      }
       c[i] += acc;
     }
     return;
@@ -315,7 +317,11 @@ void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
   // pointers defeat the register allocator). Each B element is loaded once
   // per four rows, and C rows are touched once per tile instead of once
   // per kk step, so the kernel stops being bound on B/C traffic.
-  // Per-element summation order (kk ascending) matches the naive kernel.
+  // Per-element summation order (kk ascending) matches the remainder
+  // loops, and every path accumulates through FusedMulAdd so the tile,
+  // column-remainder and row-remainder paths produce identical bits — a
+  // row's result must not depend on its position within the batch
+  // (streaming validation chunks batches arbitrarily).
   constexpr int kTile = 16;
   int64_t i = 0;
   for (; i + 4 <= m; i += 4) {
@@ -344,10 +350,10 @@ void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
         const float* brow = b + kk * n + jj;
         for (int q = 0; q < kTile; ++q) {
           const float bq = brow[q];
-          t0[q] += a0k * bq;
-          t1[q] += a1k * bq;
-          t2[q] += a2k * bq;
-          t3[q] += a3k * bq;
+          t0[q] = FusedMulAdd(a0k, bq, t0[q]);
+          t1[q] = FusedMulAdd(a1k, bq, t1[q]);
+          t2[q] = FusedMulAdd(a2k, bq, t2[q]);
+          t3[q] = FusedMulAdd(a3k, bq, t3[q]);
         }
       }
       for (int q = 0; q < kTile; ++q) {
@@ -361,10 +367,10 @@ void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
       float t0 = c0[jj], t1 = c1[jj], t2 = c2[jj], t3 = c3[jj];
       for (int64_t kk = 0; kk < k; ++kk) {
         const float bj = b[kk * n + jj];
-        t0 += a0[kk] * bj;
-        t1 += a1[kk] * bj;
-        t2 += a2[kk] * bj;
-        t3 += a3[kk] * bj;
+        t0 = FusedMulAdd(a0[kk], bj, t0);
+        t1 = FusedMulAdd(a1[kk], bj, t1);
+        t2 = FusedMulAdd(a2[kk], bj, t2);
+        t3 = FusedMulAdd(a3[kk], bj, t3);
       }
       c0[jj] = t0;
       c1[jj] = t1;
@@ -377,7 +383,9 @@ void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
     for (int64_t kk = 0; kk < k; ++kk) {
       const float aik = a[i * k + kk];
       const float* brow = b + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] = FusedMulAdd(aik, brow[j], crow[j]);
+      }
     }
   }
 }

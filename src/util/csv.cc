@@ -5,50 +5,51 @@
 
 namespace dquag {
 
-namespace {
-
-/// Splits CSV text into rows of fields, honoring quotes.
-StatusOr<std::vector<std::vector<std::string>>> Tokenize(
-    const std::string& text) {
-  std::vector<std::vector<std::string>> rows;
-  std::vector<std::string> row;
-  std::string field;
-  bool in_quotes = false;
-  bool field_started = false;
-
+Status CsvStreamParser::Consume(
+    const char* data, size_t size,
+    std::vector<std::vector<std::string>>* records) {
   auto end_field = [&] {
-    row.push_back(std::move(field));
-    field.clear();
-    field_started = false;
+    row_.push_back(std::move(field_));
+    field_.clear();
+    field_started_ = false;
   };
   auto end_row = [&] {
     end_field();
-    rows.push_back(std::move(row));
-    row.clear();
+    records->push_back(std::move(row_));
+    row_.clear();
+    ++records_emitted_;
   };
 
-  for (size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (in_quotes) {
+  for (size_t i = 0; i < size; ++i) {
+    const char c = data[i];
+    if (c == '\n') ++line_;
+    if (quote_pending_) {
+      // Previous char was '"' inside a quoted field: a second '"' is an
+      // escaped literal quote; anything else closed the field.
+      quote_pending_ = false;
       if (c == '"') {
-        if (i + 1 < text.size() && text[i + 1] == '"') {
-          field.push_back('"');
-          ++i;
-        } else {
-          in_quotes = false;
-        }
+        field_.push_back('"');
+        continue;
+      }
+      in_quotes_ = false;
+      // fall through and process c as an unquoted character
+    }
+    if (in_quotes_) {
+      if (c == '"') {
+        quote_pending_ = true;
       } else {
-        field.push_back(c);
+        field_.push_back(c);
       }
       continue;
     }
     switch (c) {
       case '"':
-        if (field.empty() && !field_started) {
-          in_quotes = true;
-          field_started = true;
+        if (field_.empty() && !field_started_) {
+          in_quotes_ = true;
+          field_started_ = true;
+          quote_open_line_ = line_;
         } else {
-          field.push_back(c);
+          field_.push_back(c);
         }
         break;
       case ',':
@@ -60,14 +61,45 @@ StatusOr<std::vector<std::vector<std::string>>> Tokenize(
         end_row();
         break;
       default:
-        field.push_back(c);
-        field_started = true;
+        field_.push_back(c);
+        field_started_ = true;
     }
   }
-  if (in_quotes) {
-    return Status::InvalidArgument("unterminated quoted CSV field");
+  return Status::Ok();
+}
+
+Status CsvStreamParser::Finish(
+    std::vector<std::vector<std::string>>* records) {
+  if (quote_pending_) {
+    // Trailing '"' at EOF closes the field.
+    quote_pending_ = false;
+    in_quotes_ = false;
   }
-  if (field_started || !field.empty() || !row.empty()) end_row();
+  if (in_quotes_) {
+    return Status::InvalidArgument(
+        "unterminated quoted CSV field (quote opened on line " +
+        std::to_string(quote_open_line_) + ")");
+  }
+  if (field_started_ || !field_.empty() || !row_.empty()) {
+    row_.push_back(std::move(field_));
+    field_.clear();
+    field_started_ = false;
+    records->push_back(std::move(row_));
+    row_.clear();
+    ++records_emitted_;
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Splits CSV text into rows of fields, honoring quotes.
+StatusOr<std::vector<std::vector<std::string>>> Tokenize(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  CsvStreamParser parser;
+  DQUAG_RETURN_IF_ERROR(parser.Consume(text.data(), text.size(), &rows));
+  DQUAG_RETURN_IF_ERROR(parser.Finish(&rows));
   return rows;
 }
 

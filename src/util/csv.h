@@ -23,6 +23,40 @@ struct CsvDocument {
 /// doubled-quote escapes. Every row must match the header width.
 StatusOr<CsvDocument> ParseCsv(const std::string& text);
 
+/// Incremental RFC-4180 tokenizer: feed the input in arbitrary blocks and
+/// collect complete records as they close. The whole-document Tokenize path
+/// and the out-of-core CsvChunkReader are both built on this state machine,
+/// so streamed and in-memory parses are identical by construction. Quoted
+/// fields (embedded commas/newlines, doubled-quote escapes) may span block
+/// boundaries. Errors carry 1-based line context.
+class CsvStreamParser {
+ public:
+  /// Consumes one block of text, appending every record completed within it
+  /// to `records`. Records already in `records` are left untouched.
+  Status Consume(const char* data, size_t size,
+                 std::vector<std::vector<std::string>>* records);
+
+  /// Signals end of input; flushes a final record without a trailing
+  /// newline. Fails if a quoted field is still open.
+  Status Finish(std::vector<std::vector<std::string>>* records);
+
+  /// 1-based line number of the next character to be consumed.
+  int64_t line() const { return line_; }
+
+  /// Number of records emitted so far.
+  int64_t records_emitted() const { return records_emitted_; }
+
+ private:
+  std::vector<std::string> row_;
+  std::string field_;
+  bool in_quotes_ = false;
+  bool quote_pending_ = false;  // saw '"' inside quotes; next char decides
+  bool field_started_ = false;
+  int64_t line_ = 1;
+  int64_t quote_open_line_ = 0;
+  int64_t records_emitted_ = 0;
+};
+
 /// Reads and parses a CSV file.
 StatusOr<CsvDocument> ReadCsvFile(const std::string& path);
 

@@ -1,0 +1,102 @@
+# End-to-end CLI parity test for streaming validation: extends the
+# cli_smoke_test.cmake flow to the full train -> validate / serve-sim
+# pipeline and asserts that --stream produces EXACTLY the same output and
+# exit code as the whole-table run on the tiny fixture.
+# Invoked by ctest as:
+#   cmake -DDQUAG_CLI=<binary> -DFIXTURE=<csv> -DWORK_DIR=<dir>
+#         -P cli_stream_test.cmake
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(schema ${WORK_DIR}/schema.json)
+set(model ${WORK_DIR}/model.ckpt)
+
+# 1. Derive a schema template from the fixture.
+execute_process(
+  COMMAND ${DQUAG_CLI} schema-template --data ${FIXTURE}
+  OUTPUT_FILE ${schema}
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "schema-template exited with ${code}\nstderr: ${err}")
+endif()
+
+# 2. Train a tiny checkpoint on the fixture (fast settings).
+execute_process(
+  COMMAND ${DQUAG_CLI} train --clean ${FIXTURE} --schema ${schema}
+          --out ${model} --epochs 2 --seed 7
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "train exited with ${code}\nstderr: ${err}\n${out}")
+endif()
+
+# 3. validate: whole-table vs --stream with a chunk smaller than the data,
+# byte-identical stdout and equal exit codes required.
+execute_process(
+  COMMAND ${DQUAG_CLI} validate --model ${model} --data ${FIXTURE} --verbose
+  OUTPUT_VARIABLE whole_out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE whole_code)
+if(whole_code GREATER 2)
+  message(FATAL_ERROR "validate exited with ${whole_code}\nstderr: ${err}")
+endif()
+execute_process(
+  COMMAND ${DQUAG_CLI} validate --model ${model} --data ${FIXTURE} --verbose
+          --stream --chunk-rows 2
+  OUTPUT_VARIABLE stream_out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE stream_code)
+if(stream_code GREATER 2)
+  message(FATAL_ERROR
+          "validate --stream exited with ${stream_code}\nstderr: ${err}")
+endif()
+if(NOT whole_code EQUAL stream_code)
+  message(FATAL_ERROR "validate exit codes differ: whole=${whole_code} "
+                      "stream=${stream_code}")
+endif()
+if(NOT whole_out STREQUAL stream_out)
+  message(FATAL_ERROR "validate output parity violated:\n--- whole ---\n"
+                      "${whole_out}\n--- stream ---\n${stream_out}")
+endif()
+if(NOT whole_out MATCHES "instances flagged")
+  message(FATAL_ERROR "unexpected validate output:\n${whole_out}")
+endif()
+
+# 4. serve-sim: the deterministic summary lines (flagged / dirty / monitor
+# state) must agree between streaming and whole-table serving; the
+# throughput line is timing-dependent and excluded.
+function(extract_flagged_line text out_var)
+  string(REGEX MATCH "flagged: [^\n]*" line "${text}")
+  set(${out_var} "${line}" PARENT_SCOPE)
+endfunction()
+
+execute_process(
+  COMMAND ${DQUAG_CLI} serve-sim --model ${model} --data ${FIXTURE}
+          --threads 2 --rounds 2
+  OUTPUT_VARIABLE whole_out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "serve-sim exited with ${code}\nstderr: ${err}")
+endif()
+execute_process(
+  COMMAND ${DQUAG_CLI} serve-sim --model ${model} --data ${FIXTURE}
+          --threads 2 --rounds 2 --stream --chunk-rows 2
+  OUTPUT_VARIABLE stream_out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "serve-sim --stream exited with ${code}\nstderr: ${err}")
+endif()
+extract_flagged_line("${whole_out}" whole_flagged)
+extract_flagged_line("${stream_out}" stream_flagged)
+if(whole_flagged STREQUAL "")
+  message(FATAL_ERROR "no flagged summary in serve-sim output:\n${whole_out}")
+endif()
+if(NOT whole_flagged STREQUAL stream_flagged)
+  message(FATAL_ERROR "serve-sim parity violated:\n  whole:  ${whole_flagged}"
+                      "\n  stream: ${stream_flagged}")
+endif()
+
+message(STATUS "cli_stream_parity OK (${whole_flagged})")

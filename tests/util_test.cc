@@ -1,6 +1,7 @@
 // Unit tests for the util substrate: Status, RNG, strings, JSON, CSV,
 // thread pool, stopwatch, logging.
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <set>
@@ -232,6 +233,47 @@ TEST(CsvTest, CrLfHandled) {
   auto doc = ParseCsv("a,b\r\n1,2\r\n");
   ASSERT_TRUE(doc.ok());
   EXPECT_EQ(doc->rows[0][0], "1");
+}
+
+TEST(CsvStreamParserTest, BlockBoundariesNeverChangeTheParse) {
+  // Quotes, escaped quotes, embedded commas/newlines, CRLF, and a final
+  // record without a trailing newline — parsed whole, then re-parsed with
+  // every block size down to one byte. Identical records either way.
+  const std::string text =
+      "a,b,c\r\n\"x,y\",\"line1\nline2\",plain\n\"he said "
+      "\"\"hi\"\"\",2,3\nlast,row,unterminated";
+  std::vector<std::vector<std::string>> whole;
+  {
+    CsvStreamParser parser;
+    ASSERT_TRUE(parser.Consume(text.data(), text.size(), &whole).ok());
+    ASSERT_TRUE(parser.Finish(&whole).ok());
+  }
+  ASSERT_EQ(whole.size(), 4u);
+  EXPECT_EQ(whole[1][1], "line1\nline2");
+  EXPECT_EQ(whole[2][0], "he said \"hi\"");
+  EXPECT_EQ(whole[3][2], "unterminated");
+
+  for (size_t block : {size_t{1}, size_t{2}, size_t{3}, size_t{7}}) {
+    std::vector<std::vector<std::string>> streamed;
+    CsvStreamParser parser;
+    for (size_t i = 0; i < text.size(); i += block) {
+      const size_t n = std::min(block, text.size() - i);
+      ASSERT_TRUE(parser.Consume(text.data() + i, n, &streamed).ok());
+    }
+    ASSERT_TRUE(parser.Finish(&streamed).ok());
+    EXPECT_EQ(streamed, whole) << "block=" << block;
+  }
+}
+
+TEST(CsvStreamParserTest, UnterminatedQuoteNamesItsLine) {
+  const std::string text = "a,b\n1,2\n\"open quote,3\n";
+  std::vector<std::vector<std::string>> records;
+  CsvStreamParser parser;
+  ASSERT_TRUE(parser.Consume(text.data(), text.size(), &records).ok());
+  const Status status = parser.Finish(&records);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 3"), std::string::npos)
+      << status.ToString();
 }
 
 // ---- ThreadPool ------------------------------------------------------------

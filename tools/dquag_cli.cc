@@ -4,15 +4,19 @@
 //   dquag train     --clean data.csv --schema schema.json --out model.ckpt
 //                   [--epochs N] [--encoder gat+gin] [--relationships r.json]
 //   dquag validate  --model model.ckpt --data new.csv [--verbose]
-//                   [--micro-batch M]
+//                   [--micro-batch M] [--stream] [--chunk-rows N]
 //   dquag repair    --model model.ckpt --data new.csv --out repaired.csv
 //   dquag explain   --model model.ckpt --data new.csv --row K
 //   dquag serve-sim --model model.ckpt --data new.csv [--threads T]
-//                   [--rounds R] [--micro-batch M]   (concurrent serving sim)
+//                   [--rounds R] [--micro-batch M] [--stream]
+//                   [--chunk-rows N]                 (concurrent serving sim)
 //   dquag schema-template --data data.csv   (guess a schema from a CSV)
 //
 // validate and serve-sim run through the ValidationService: micro-batched
-// tape-free inference fanned across the process thread pool.
+// tape-free inference fanned across the process thread pool. With --stream
+// the CSV is never materialized: chunks of --chunk-rows rows are read,
+// validated and retired with bounded memory, and the verdict is
+// bit-identical to the whole-table run.
 //
 // Exit code: 0 on success (validate: also when the batch is clean),
 // 2 when validate classifies the batch dirty, 1 on errors.
@@ -28,6 +32,7 @@
 #include "core/pipeline.h"
 #include "core/validation_service.h"
 #include "data/schema_json.h"
+#include "data/table_chunk_reader.h"
 #include "graph/relationship_json.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -137,8 +142,7 @@ StatusOr<DquagPipeline> LoadModelAndData(const Args& args, Table* table) {
   return pipeline;
 }
 
-StatusOr<std::unique_ptr<ValidationService>> LoadServiceAndData(
-    const Args& args, Table* table) {
+StatusOr<std::unique_ptr<ValidationService>> LoadService(const Args& args) {
   const std::string model_path = args.Get("model");
   const std::string data_path = args.Get("data");
   if (model_path.empty() || data_path.empty()) {
@@ -146,9 +150,14 @@ StatusOr<std::unique_ptr<ValidationService>> LoadServiceAndData(
   }
   ValidationServiceOptions options;
   options.micro_batch_rows = args.GetInt("micro-batch", 512);
-  auto service = ValidationService::FromCheckpoint(model_path, options);
+  return ValidationService::FromCheckpoint(model_path, options);
+}
+
+StatusOr<std::unique_ptr<ValidationService>> LoadServiceAndData(
+    const Args& args, Table* table) {
+  auto service = LoadService(args);
   if (!service.ok()) return service.status();
-  auto csv = ReadCsvFile(data_path);
+  auto csv = ReadCsvFile(args.Get("data"));
   if (!csv.ok()) return csv.status();
   auto loaded =
       Table::FromCsv((*service)->pipeline().preprocessor().schema(), *csv);
@@ -157,7 +166,47 @@ StatusOr<std::unique_ptr<ValidationService>> LoadServiceAndData(
   return service;
 }
 
+void PrintFlaggedRow(const Schema& schema, size_t row,
+                     const InstanceVerdict& inst) {
+  std::printf("row %zu: error %.5f; suspect:", row, inst.error);
+  for (int64_t c : inst.suspect_features) {
+    std::printf(" %s", schema.column(c).name.c_str());
+  }
+  std::printf("\n");
+}
+
+/// validate --stream: the CSV is consumed chunk by chunk and never
+/// materialized; output and exit code match the whole-table path exactly.
+int CmdValidateStream(const Args& args) {
+  auto service = LoadService(args);
+  if (!service.ok()) return Fail(service.status());
+  CsvChunkReaderOptions reader_options;
+  reader_options.chunk_rows = args.GetInt("chunk-rows", 4096);
+  if (reader_options.chunk_rows <= 0) {
+    return Fail(Status::InvalidArgument("--chunk-rows must be > 0"));
+  }
+  const Schema& schema = (*service)->pipeline().preprocessor().schema();
+  auto reader = CsvChunkReader::Open(args.Get("data"), schema,
+                                     reader_options);
+  if (!reader.ok()) return Fail(reader.status());
+  auto verdict = (*service)->ValidateStream(**reader);
+  if (!verdict.ok()) return Fail(verdict.status());
+  std::printf("%s: %.2f%% of %lld instances flagged (cutoff %.2f%%)\n",
+              verdict->is_dirty ? "DIRTY" : "clean",
+              verdict->flagged_fraction * 100.0,
+              static_cast<long long>(verdict->total_rows),
+              (*service)->pipeline().validator().batch_cutoff() * 100.0);
+  if (args.Has("verbose")) {
+    for (size_t i = 0; i < verdict->flagged_rows.size(); ++i) {
+      PrintFlaggedRow(schema, verdict->flagged_rows[i],
+                      verdict->flagged_instances[i]);
+    }
+  }
+  return verdict->is_dirty ? 2 : 0;
+}
+
 int CmdValidate(const Args& args) {
+  if (args.Has("stream")) return CmdValidateStream(args);
   Table table;
   auto service = LoadServiceAndData(args, &table);
   if (!service.ok()) return Fail(service.status());
@@ -170,12 +219,7 @@ int CmdValidate(const Args& args) {
   if (args.Has("verbose")) {
     const Schema& schema = table.schema();
     for (size_t row : verdict.flagged_rows) {
-      const InstanceVerdict& inst = verdict.instances[row];
-      std::printf("row %zu: error %.5f; suspect:", row, inst.error);
-      for (int64_t c : inst.suspect_features) {
-        std::printf(" %s", schema.column(c).name.c_str());
-      }
-      std::printf("\n");
+      PrintFlaggedRow(schema, row, verdict.instances[row]);
     }
   }
   return verdict.is_dirty ? 2 : 0;
@@ -192,20 +236,42 @@ int CmdServeSim(const Args& args) {
     return Fail(Status::InvalidArgument("--threads and --rounds must be > 0"));
   }
 
-  std::printf("serving %lld rows to %lld concurrent clients, %lld rounds "
-              "each (micro-batch %lld)\n",
-              static_cast<long long>(table.num_rows()),
-              static_cast<long long>(threads),
-              static_cast<long long>(rounds),
-              static_cast<long long>(service.options().micro_batch_rows));
+  const bool stream = args.Has("stream");
+  const int64_t chunk_rows = args.GetInt("chunk-rows", 4096);
+  if (stream && chunk_rows <= 0) {
+    return Fail(Status::InvalidArgument("--chunk-rows must be > 0"));
+  }
+  if (stream) {
+    std::printf("serving %lld rows to %lld concurrent STREAMING clients, "
+                "%lld rounds each (chunk %lld)\n",
+                static_cast<long long>(table.num_rows()),
+                static_cast<long long>(threads),
+                static_cast<long long>(rounds),
+                static_cast<long long>(chunk_rows));
+  } else {
+    std::printf("serving %lld rows to %lld concurrent clients, %lld rounds "
+                "each (micro-batch %lld)\n",
+                static_cast<long long>(table.num_rows()),
+                static_cast<long long>(threads),
+                static_cast<long long>(rounds),
+                static_cast<long long>(service.options().micro_batch_rows));
+  }
   Stopwatch timer;
   std::vector<std::thread> clients;
   clients.reserve(static_cast<size_t>(threads));
   for (int64_t t = 0; t < threads; ++t) {
     clients.emplace_back([&] {
       for (int64_t r = 0; r < rounds; ++r) {
-        MonitorObservation obs = service.Observe(table);
-        (void)obs;
+        if (stream) {
+          // Each round streams the batch through its own cursor; readers
+          // are cheap, the chunk buffers live inside ObserveStream.
+          TableViewChunkReader reader(&table, chunk_rows);
+          auto obs = service.ObserveStream(reader);
+          DQUAG_CHECK(obs.ok());  // view readers cannot fail mid-stream
+        } else {
+          MonitorObservation obs = service.Observe(table);
+          (void)obs;
+        }
       }
     });
   }
