@@ -1,0 +1,218 @@
+// Serving-daemon throughput and tail latency over real sockets.
+//
+// Trains a small pipeline, checkpoints it, starts an in-process ServeDaemon
+// on an ephemeral port, deploys the checkpoint under several tenants and
+// hammers the daemon with concurrent socket clients issuing kValidate
+// requests. Reports requests/s, rows/s, and client-observed latency
+// percentiles (p50/p99/p999, measured with the same log-bucketed counter
+// the daemon itself uses). A verdict from every client is compared against
+// a direct ValidationService call on the same bytes — the bench doubles as
+// a parity regression gate and exits non-zero on any mismatch, dropped
+// request, or rejected request (the fleet is sized inside the admission
+// budget, so a rejection means admission accounting broke).
+//
+// --json[=path] writes a BENCH_serve.json machine-readable summary
+// (default path: BENCH_serve.json). DQUAG_BENCH_FAST=1 shrinks the
+// workload. Knobs: DQUAG_SERVE_CLIENTS, DQUAG_SERVE_TENANTS,
+// DQUAG_SERVE_REQUESTS (per client), DQUAG_SERVE_BATCH_ROWS.
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/validation_service.h"
+#include "data/generators.h"
+#include "serve/client.h"
+#include "serve/percentile_counter.h"
+#include "serve/server.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace dquag {
+namespace {
+
+int RunAll(const char* json_path) {
+  const bool fast = bench::FastMode();
+  const int64_t train_rows = bench::EnvInt("DQUAG_TRAIN_ROWS", 256);
+  const int64_t epochs = bench::EnvInt("DQUAG_EPOCHS", fast ? 1 : 4);
+  const int64_t clients = bench::EnvInt("DQUAG_SERVE_CLIENTS", fast ? 2 : 4);
+  const int64_t tenants = bench::EnvInt("DQUAG_SERVE_TENANTS", fast ? 2 : 3);
+  const int64_t requests_per_client =
+      bench::EnvInt("DQUAG_SERVE_REQUESTS", fast ? 8 : 50);
+  const int64_t batch_rows =
+      bench::EnvInt("DQUAG_SERVE_BATCH_ROWS", fast ? 64 : 256);
+
+  std::printf("=== serve daemon throughput ===\n");
+  std::printf("(%lld clients x %lld requests, %lld tenants, %lld-row "
+              "batches, %u hardware threads)\n",
+              static_cast<long long>(clients),
+              static_cast<long long>(requests_per_client),
+              static_cast<long long>(tenants),
+              static_cast<long long>(batch_rows),
+              std::thread::hardware_concurrency());
+
+  // One fitted checkpoint deployed under every tenant key: registry
+  // bookkeeping is per tenant, so this exercises the multi-tenant paths
+  // without multiplying training time.
+  Rng rng(41);
+  Table clean = datasets::GenerateNyTaxi(train_rows, rng, /*dims=*/10);
+  DquagPipelineOptions pipeline_options;
+  pipeline_options.config.epochs = epochs;
+  pipeline_options.config.seed = 41;
+  DquagPipeline pipeline(std::move(pipeline_options));
+  DQUAG_CHECK(pipeline.Fit(clean).ok());
+  const std::string checkpoint = "bench_serve_model.ckpt";
+  DQUAG_CHECK(pipeline.Save(checkpoint).ok());
+
+  ServeOptions options;
+  options.registry.max_resident = tenants;
+  options.registry.max_inflight_per_tenant = clients;
+  ServeDaemon daemon(options);
+  DQUAG_CHECK(daemon.Start().ok());
+  std::vector<std::string> tenant_names;
+  for (int64_t t = 0; t < tenants; ++t) {
+    tenant_names.push_back("bench/t" + std::to_string(t));
+    DQUAG_CHECK(daemon.registry().Deploy(tenant_names.back(), checkpoint).ok());
+  }
+
+  // Local baseline for the parity gate.
+  auto baseline = ValidationService::FromCheckpoint(checkpoint);
+  DQUAG_CHECK(baseline.ok());
+
+  // One pre-serialized batch per client, so the bench times the daemon,
+  // not CSV generation.
+  std::vector<std::string> batches;
+  for (int64_t c = 0; c < clients; ++c) {
+    Rng batch_rng(static_cast<uint64_t>(100 + c));
+    Table batch =
+        datasets::GenerateNyTaxi(batch_rows, batch_rng, /*dims=*/10);
+    batches.push_back(WriteCsvString(batch.ToCsv()));
+  }
+
+  PercentileCounter latency;
+  std::atomic<int64_t> completed{0};
+  std::atomic<int64_t> failed{0};
+  std::atomic<int64_t> parity_mismatches{0};
+
+  Stopwatch wall;
+  std::vector<std::thread> fleet;
+  for (int64_t c = 0; c < clients; ++c) {
+    fleet.emplace_back([&, c] {
+      auto client = ServeClient::Connect("127.0.0.1", daemon.port());
+      if (!client.ok()) {
+        failed.fetch_add(requests_per_client);
+        return;
+      }
+      const std::string& csv = batches[static_cast<size_t>(c)];
+      for (int64_t r = 0; r < requests_per_client; ++r) {
+        const std::string& tenant =
+            tenant_names[static_cast<size_t>((c + r) % tenants)];
+        Stopwatch timer;
+        auto verdict = client->Validate(tenant, csv);
+        if (!verdict.ok()) {
+          failed.fetch_add(1);
+          continue;
+        }
+        latency.Record(static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
+        completed.fetch_add(1);
+        if (r == 0) {
+          // Parity gate: first response per client vs a local validation
+          // of the identical bytes, bit-exact.
+          auto doc = ParseCsv(csv);
+          auto table = Table::FromCsv(
+              (*baseline)->pipeline().preprocessor().schema(), *doc);
+          auto local = (*baseline)->TryValidate(*table);
+          if (!local.ok() ||
+              verdict->flagged_fraction != local->flagged_fraction ||
+              verdict->threshold != local->threshold ||
+              verdict->is_dirty != local->is_dirty ||
+              verdict->flagged.size() != local->flagged_rows.size()) {
+            parity_mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : fleet) thread.join();
+  const double seconds = wall.ElapsedSeconds();
+  daemon.Stop();
+  std::remove(checkpoint.c_str());
+
+  const int64_t total = clients * requests_per_client;
+  const double requests_per_sec =
+      static_cast<double>(completed.load()) / seconds;
+  const double rows_per_sec =
+      static_cast<double>(completed.load() * batch_rows) / seconds;
+  const uint64_t p50 = latency.Percentile(0.50);
+  const uint64_t p99 = latency.Percentile(0.99);
+  const uint64_t p999 = latency.Percentile(0.999);
+
+  std::printf("%12s  %12s  %10s  %10s  %10s  %10s\n", "requests/s", "rows/s",
+              "p50_us", "p99_us", "p999_us", "max_us");
+  std::printf("%12.0f  %12.0f  %10llu  %10llu  %10llu  %10llu\n",
+              requests_per_sec, rows_per_sec,
+              static_cast<unsigned long long>(p50),
+              static_cast<unsigned long long>(p99),
+              static_cast<unsigned long long>(p999),
+              static_cast<unsigned long long>(latency.max()));
+  std::printf("completed %lld/%lld requests in %.3f s, %lld failed, "
+              "%lld parity mismatches\n",
+              static_cast<long long>(completed.load()),
+              static_cast<long long>(total), seconds,
+              static_cast<long long>(failed.load()),
+              static_cast<long long>(parity_mismatches.load()));
+
+  const bool ok = completed.load() == total && failed.load() == 0 &&
+                  parity_mismatches.load() == 0;
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: dropped/failed requests or parity break\n");
+  }
+
+  if (json_path != nullptr) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"clients\": " << clients << ",\n"
+        << "  \"tenants\": " << tenants << ",\n"
+        << "  \"requests_per_client\": " << requests_per_client << ",\n"
+        << "  \"batch_rows\": " << batch_rows << ",\n"
+        << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "  \"seconds\": " << seconds << ",\n"
+        << "  \"requests_per_sec\": " << requests_per_sec << ",\n"
+        << "  \"rows_per_sec\": " << rows_per_sec << ",\n"
+        << "  \"latency_p50_us\": " << p50 << ",\n"
+        << "  \"latency_p99_us\": " << p99 << ",\n"
+        << "  \"latency_p999_us\": " << p999 << ",\n"
+        << "  \"latency_max_us\": " << latency.max() << ",\n"
+        << "  \"completed\": " << completed.load() << ",\n"
+        << "  \"failed\": " << failed.load() << ",\n"
+        << "  \"parity\": " << (ok ? "true" : "false") << "\n"
+        << "}\n";
+    std::printf("wrote %s\n", json_path);
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dquag
+
+int main(int argc, char** argv) {
+  dquag::SetLogLevel(dquag::LogLevel::kWarning);
+  const char* json_path = nullptr;
+  std::string json_storage;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_serve.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_storage = argv[i] + 7;
+      json_path = json_storage.c_str();
+    }
+  }
+  return dquag::RunAll(json_path);
+}

@@ -70,6 +70,21 @@ BatchVerdict ValidationService::ValidateMatrix(const Tensor& matrix) const {
   return verdict;
 }
 
+StatusOr<BatchVerdict> ValidationService::TryValidate(
+    const Table& batch) const {
+  if (!(batch.schema() == pipeline_.preprocessor().schema())) {
+    return Status::InvalidArgument(
+        "batch schema does not match the deployed model's schema");
+  }
+  return Validate(batch);
+}
+
+StatusOr<RepairResult> ValidationService::TryValidateAndRepair(
+    const Table& batch) const {
+  DQUAG_ASSIGN_OR_RETURN(BatchVerdict verdict, TryValidate(batch));
+  return Repair(batch, verdict);
+}
+
 RepairResult ValidationService::Repair(const Table& batch,
                                        const BatchVerdict& verdict) const {
   RepairResult result = pipeline_.Repair(batch, verdict);

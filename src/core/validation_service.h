@@ -67,6 +67,15 @@ class ValidationService {
   /// Thread-safe batch validation (preprocess + parallel engine inference).
   BatchVerdict Validate(const Table& batch) const;
 
+  /// Status-checked dispatch for externally-sourced batches — the serving
+  /// daemon's entry point. Verifies the batch schema matches the fitted
+  /// preprocessor so malformed client input surfaces as InvalidArgument
+  /// instead of a checked abort; an empty batch is a valid clean verdict.
+  StatusOr<BatchVerdict> TryValidate(const Table& batch) const;
+
+  /// Status-checked Validate + Repair (see TryValidate).
+  StatusOr<RepairResult> TryValidateAndRepair(const Table& batch) const;
+
   /// Thread-safe validation of an already-preprocessed [B, d] matrix.
   BatchVerdict ValidateMatrix(const Tensor& matrix) const;
 

@@ -1,0 +1,153 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dquag {
+
+namespace {
+
+/// Maps a daemon error response onto a Status whose code callers can
+/// branch on (overload -> ResourceExhausted, unknown tenant -> NotFound).
+Status StatusForResponse(const WireResponse& response) {
+  const std::string message = std::string(WireCodeName(response.code)) +
+                              ": " + response.message;
+  switch (response.code) {
+    case WireCode::kOk:
+      return Status::Ok();
+    case WireCode::kBadRequest:
+      return Status::InvalidArgument(message);
+    case WireCode::kUnknownTenant:
+      return Status::NotFound(message);
+    case WireCode::kOverloaded:
+      return Status::ResourceExhausted(message);
+    case WireCode::kLoadFailed:
+      return Status::IoError(message);
+    case WireCode::kShuttingDown:
+      return Status::Unavailable(message);
+    case WireCode::kInternal:
+      break;
+  }
+  return Status::Internal(message);
+}
+
+}  // namespace
+
+StatusOr<ServeClient> ServeClient::Connect(const std::string& host,
+                                           int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status = Status::Unavailable(
+        "connect to " + host + ":" + std::to_string(port) +
+        " failed: " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const int enable = 1;  // request/response protocol: don't batch writes
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return ServeClient(fd);
+}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+ServeClient::~ServeClient() { Close(); }
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<WireResponse> ServeClient::Call(const WireRequest& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  WireRequest stamped = request;
+  if (stamped.request_id == 0) stamped.request_id = next_request_id_++;
+  DQUAG_RETURN_IF_ERROR(WriteFrame(fd_, EncodeRequest(stamped)));
+  DQUAG_ASSIGN_OR_RETURN(std::string payload, ReadFrame(fd_));
+  return DecodeResponse(payload);
+}
+
+Status ServeClient::Ping() {
+  WireRequest request;
+  request.verb = WireVerb::kPing;
+  DQUAG_ASSIGN_OR_RETURN(WireResponse response, Call(request));
+  return StatusForResponse(response);
+}
+
+StatusOr<WireVerdict> ServeClient::Validate(const std::string& tenant,
+                                            const std::string& csv_text) {
+  WireRequest request;
+  request.verb = WireVerb::kValidate;
+  request.tenant = tenant;
+  request.body = csv_text;
+  DQUAG_ASSIGN_OR_RETURN(WireResponse response, Call(request));
+  DQUAG_RETURN_IF_ERROR(StatusForResponse(response));
+  return DecodeVerdict(response.body);
+}
+
+StatusOr<WireRepair> ServeClient::Repair(const std::string& tenant,
+                                         const std::string& csv_text) {
+  WireRequest request;
+  request.verb = WireVerb::kRepair;
+  request.tenant = tenant;
+  request.body = csv_text;
+  DQUAG_ASSIGN_OR_RETURN(WireResponse response, Call(request));
+  DQUAG_RETURN_IF_ERROR(StatusForResponse(response));
+  return DecodeRepair(response.body);
+}
+
+Status ServeClient::Deploy(const std::string& tenant,
+                           const std::string& checkpoint_path) {
+  WireRequest request;
+  request.verb = WireVerb::kDeploy;
+  request.tenant = tenant;
+  request.body = checkpoint_path;
+  DQUAG_ASSIGN_OR_RETURN(WireResponse response, Call(request));
+  return StatusForResponse(response);
+}
+
+StatusOr<std::vector<TenantStatsSnapshot>> ServeClient::Stats(
+    const std::string& tenant) {
+  WireRequest request;
+  request.verb = WireVerb::kStats;
+  request.tenant = tenant;
+  DQUAG_ASSIGN_OR_RETURN(WireResponse response, Call(request));
+  DQUAG_RETURN_IF_ERROR(StatusForResponse(response));
+  return DecodeStats(response.body);
+}
+
+Status ServeClient::Shutdown() {
+  WireRequest request;
+  request.verb = WireVerb::kShutdown;
+  DQUAG_ASSIGN_OR_RETURN(WireResponse response, Call(request));
+  return StatusForResponse(response);
+}
+
+}  // namespace dquag

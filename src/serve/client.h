@@ -1,0 +1,69 @@
+// Blocking client for the `dquag serve` daemon.
+//
+// One ServeClient wraps one persistent TCP connection and issues one
+// request at a time (connections are cheap; open one per client thread).
+// Verb helpers translate error responses into Status with matching codes —
+// an overloaded daemon surfaces as ResourceExhausted, an unknown tenant as
+// NotFound — so callers branch on codes, not string matching. Used by the
+// CLI (deploy/stats/shutdown), the integration tests and bench_serve.
+
+#ifndef DQUAG_SERVE_CLIENT_H_
+#define DQUAG_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/wire.h"
+
+namespace dquag {
+
+class ServeClient {
+ public:
+  /// Connects to a running daemon ("127.0.0.1", daemon.port()).
+  static StatusOr<ServeClient> Connect(const std::string& host, int port);
+
+  ServeClient(ServeClient&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ~ServeClient();
+
+  /// Round-trips one raw request; transport errors only — a non-kOk
+  /// response code is still an ok() Call.
+  StatusOr<WireResponse> Call(const WireRequest& request);
+
+  Status Ping();
+
+  /// Validates CSV text (header + rows, tenant's schema) remotely.
+  StatusOr<WireVerdict> Validate(const std::string& tenant,
+                                 const std::string& csv_text);
+
+  /// Validates + repairs; returns the repaired CSV and repair totals.
+  StatusOr<WireRepair> Repair(const std::string& tenant,
+                              const std::string& csv_text);
+
+  /// Deploys (or hot-swaps) `checkpoint_path` under `tenant`.
+  Status Deploy(const std::string& tenant,
+                const std::string& checkpoint_path);
+
+  /// Per-tenant serving stats; `tenant` empty = all tenants.
+  StatusOr<std::vector<TenantStatsSnapshot>> Stats(
+      const std::string& tenant = "");
+
+  /// Asks the daemon to exit its serve loop.
+  Status Shutdown();
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+  void Close();
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_SERVE_CLIENT_H_

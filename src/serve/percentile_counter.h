@@ -1,0 +1,116 @@
+// Lock-free log-bucketed latency histogram for serving statistics.
+//
+// Record() is a single relaxed fetch_add on one of ~900 fixed buckets, so
+// any number of request threads can record concurrently with no mutex and
+// no allocation — the cost that matters on the daemon's hot path. Buckets
+// are log-spaced (32 linear sub-buckets per power of two), which bounds the
+// relative error of any reported percentile by 1/32 ≈ 3% while covering
+// nanoseconds-to-minutes with a few KB of counters. Percentile() scans the
+// monotonic counters without stopping writers; a racing read can only
+// underestimate the count of a still-filling bucket, never corrupt it.
+//
+// The same counter backs the daemon's per-tenant p50/p99/p999 and
+// `serve-sim`'s simulated-client stats, so both report one metric schema.
+
+#ifndef DQUAG_SERVE_PERCENTILE_COUNTER_H_
+#define DQUAG_SERVE_PERCENTILE_COUNTER_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace dquag {
+
+class PercentileCounter {
+ public:
+  /// Linear sub-buckets per power of two: 2^5 = 32.
+  static constexpr uint64_t kSubBits = 5;
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBits;
+  /// Largest distinguishable value; larger samples clamp into the top
+  /// bucket. 2^30 us ≈ 18 minutes — far beyond any sane request latency.
+  static constexpr uint64_t kMaxExponent = 30;
+  static constexpr uint64_t kMaxValue = (1ull << kMaxExponent) - 1;
+  static constexpr uint64_t kNumBuckets =
+      (kMaxExponent - kSubBits + 1) * kSubBuckets + kSubBuckets;
+
+  PercentileCounter() = default;
+  PercentileCounter(const PercentileCounter&) = delete;
+  PercentileCounter& operator=(const PercentileCounter&) = delete;
+
+  /// Records one sample (any unit; the serving layer uses microseconds).
+  /// Lock-free and wait-free: one relaxed fetch_add per counter touched.
+  void Record(uint64_t value) {
+    if (value > kMaxValue) value = kMaxValue;
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t count() const {
+    return static_cast<int64_t>(count_.load(std::memory_order_relaxed));
+  }
+
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  double mean() const {
+    const uint64_t n = count_.load(std::memory_order_relaxed);
+    if (n == 0) return 0.0;
+    return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+           static_cast<double>(n);
+  }
+
+  /// Value at quantile q in [0, 1]: the upper bound of the first bucket
+  /// whose cumulative count reaches ceil(q * total). Exact for values < 32;
+  /// within one sub-bucket (≤ ~3% relative) above. Returns 0 when empty.
+  uint64_t Percentile(double q) const {
+    const uint64_t total = count_.load(std::memory_order_relaxed);
+    if (total == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    uint64_t target =
+        static_cast<uint64_t>(q * static_cast<double>(total) + 0.999999);
+    if (target == 0) target = 1;
+    if (target > total) target = total;
+    uint64_t cumulative = 0;
+    for (uint64_t i = 0; i < kNumBuckets; ++i) {
+      cumulative += buckets_[i].load(std::memory_order_relaxed);
+      if (cumulative >= target) return UpperBound(i);
+    }
+    return max();  // writers raced past our total snapshot
+  }
+
+  /// Maps a value to its bucket. Values below kSubBuckets get exact
+  /// buckets; above, the top kSubBits mantissa bits select a linear
+  /// sub-bucket within the value's power-of-two range.
+  static uint64_t BucketIndex(uint64_t value) {
+    if (value < kSubBuckets) return value;
+    const uint64_t exponent = 63ull - std::countl_zero(value);  // floor log2
+    const uint64_t group = exponent - kSubBits + 1;
+    const uint64_t sub = (value >> (exponent - kSubBits)) - kSubBuckets;
+    return group * kSubBuckets + sub;
+  }
+
+  /// Largest value mapping into bucket `index` (inverse of BucketIndex).
+  static uint64_t UpperBound(uint64_t index) {
+    const uint64_t group = index >> kSubBits;
+    const uint64_t sub = index & (kSubBuckets - 1);
+    if (group == 0) return sub;
+    const uint64_t shift = group - 1;
+    return (((kSubBuckets + sub) + 1) << shift) - 1;
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_SERVE_PERCENTILE_COUNTER_H_

@@ -1,0 +1,128 @@
+// `dquag serve`: the socket-backed serving daemon.
+//
+// ServeDaemon listens on a TCP port and speaks the length-prefixed frame
+// protocol of serve/wire.h. Each accepted connection gets a handler thread
+// that loops read-frame -> dispatch -> write-frame until the peer hangs
+// up; heavy work (model inference) fans out through the tenant's
+// ValidationService onto the process-wide ThreadPool, so connection
+// threads spend their life in I/O, not compute.
+//
+// The failure philosophy is "respond, never die": an undecodable payload
+// gets a kBadRequest response on the same connection; unframeable garbage
+// gets a best-effort kBadRequest and a close (resync is impossible);
+// admission-control overload and connection-limit pressure get explicit
+// kOverloaded responses. No client input can reach an abort path — every
+// entry point the daemon calls (frame read, request decode, checkpoint
+// load, validation dispatch) propagates Status.
+//
+// Lifecycle: Start() binds (port 0 = ephemeral; see port()), Stop() shuts
+// down the listener and every live connection and joins all threads. A
+// remote kShutdown request only *flags* shutdown — the owner observes it
+// via WaitForShutdown() and calls Stop(), keeping teardown off the
+// connection threads.
+
+#ifndef DQUAG_SERVE_SERVER_H_
+#define DQUAG_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/model_registry.h"
+#include "serve/wire.h"
+
+namespace dquag {
+
+struct ServeOptions {
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Listen address. The default only accepts local clients; set to
+  /// "0.0.0.0" to serve a network.
+  std::string listen_host = "127.0.0.1";
+  /// Concurrent connections before new ones are answered kOverloaded.
+  int64_t max_connections = 64;
+  ModelRegistryOptions registry;
+};
+
+class ServeDaemon {
+ public:
+  explicit ServeDaemon(ServeOptions options = {});
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Binds, listens and starts accepting. Fails (does not abort) if the
+  /// address is unusable.
+  Status Start();
+
+  /// Stops accepting, unblocks and joins every connection thread. In-flight
+  /// requests finish and get their responses first. Idempotent.
+  void Stop();
+
+  /// The bound port (after Start); 0 before.
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// True once a client has asked for kShutdown (or Stop was called).
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until shutdown_requested(); the serve CLI's main loop.
+  void WaitForShutdown();
+
+  /// Tenant registry: deploy models directly (in-process) or let clients
+  /// use the kDeploy verb.
+  ModelRegistry& registry() { return registry_; }
+
+  /// Connections answered kOverloaded because max_connections was reached.
+  int64_t connections_rejected() const {
+    return connections_rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Connection* connection);
+  WireResponse HandleRequest(const WireRequest& request);
+  WireResponse HandleValidate(const WireRequest& request, bool repair);
+  WireResponse HandleDeploy(const WireRequest& request);
+  WireResponse HandleStats(const WireRequest& request);
+
+  /// Joins finished connection threads and closes their sockets. Caller
+  /// holds connections_mutex_.
+  void ReapFinishedLocked();
+
+  ServeOptions options_;
+  ModelRegistry registry_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::atomic<int64_t> connections_rejected_{0};
+
+  std::atomic<bool> shutdown_requested_{false};
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_SERVE_SERVER_H_

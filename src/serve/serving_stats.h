@@ -1,0 +1,139 @@
+// Per-tenant serving statistics: one metric schema for daemon and sim.
+//
+// TenantCounters is the lock-free mutable side (atomic monotonic counters
+// plus a PercentileCounter for request latency); TenantStatsSnapshot is the
+// plain-data read side that crosses the wire, prints from the CLI, and
+// lands in bench JSON. `dquag serve` (per registry tenant) and
+// `dquag serve-sim` (one synthetic tenant) both report through
+// FormatStatsLine, so their output schemas are identical by construction.
+
+#ifndef DQUAG_SERVE_SERVING_STATS_H_
+#define DQUAG_SERVE_SERVING_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "serve/percentile_counter.h"
+
+namespace dquag {
+
+/// Log-bucketed latency percentiles in microseconds (see
+/// percentile_counter.h for the ≤3% bucket-resolution bound).
+struct LatencySnapshot {
+  int64_t count = 0;
+  int64_t p50_us = 0;
+  int64_t p99_us = 0;
+  int64_t p999_us = 0;
+  int64_t max_us = 0;
+};
+
+/// Point-in-time copy of one tenant's serving counters.
+struct TenantStatsSnapshot {
+  std::string tenant;
+  bool resident = false;  // checkpoint currently loaded in memory
+  int64_t requests_ok = 0;
+  int64_t requests_rejected = 0;  // admission-control overload rejections
+  int64_t requests_failed = 0;    // decode/load/validate errors
+  int64_t rows_validated = 0;
+  int64_t rows_flagged = 0;
+  int64_t dirty_batches = 0;
+  int64_t loads = 0;      // lazy checkpoint loads (includes reloads)
+  int64_t evictions = 0;  // LRU resident-set evictions
+  int64_t swaps = 0;      // hot re-deploys of a resident model
+  LatencySnapshot latency;
+};
+
+/// Lock-free mutable counters for one tenant; every mutator is a relaxed
+/// atomic add, safe from any number of request threads.
+class TenantCounters {
+ public:
+  void RecordRequest(int64_t rows, int64_t flagged, bool dirty,
+                     uint64_t latency_us) {
+    requests_ok_.fetch_add(1, std::memory_order_relaxed);
+    rows_validated_.fetch_add(rows, std::memory_order_relaxed);
+    rows_flagged_.fetch_add(flagged, std::memory_order_relaxed);
+    if (dirty) dirty_batches_.fetch_add(1, std::memory_order_relaxed);
+    latency_us_.Record(latency_us);
+  }
+  void RecordRejected() {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordFailed() {
+    requests_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordLoad() { loads_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordEviction() {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordSwap() { swaps_.fetch_add(1, std::memory_order_relaxed); }
+
+  const PercentileCounter& latency() const { return latency_us_; }
+
+  TenantStatsSnapshot Snapshot(const std::string& tenant,
+                               bool resident) const {
+    TenantStatsSnapshot s;
+    s.tenant = tenant;
+    s.resident = resident;
+    s.requests_ok = requests_ok_.load(std::memory_order_relaxed);
+    s.requests_rejected =
+        requests_rejected_.load(std::memory_order_relaxed);
+    s.requests_failed = requests_failed_.load(std::memory_order_relaxed);
+    s.rows_validated = rows_validated_.load(std::memory_order_relaxed);
+    s.rows_flagged = rows_flagged_.load(std::memory_order_relaxed);
+    s.dirty_batches = dirty_batches_.load(std::memory_order_relaxed);
+    s.loads = loads_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.swaps = swaps_.load(std::memory_order_relaxed);
+    s.latency.count = latency_us_.count();
+    s.latency.p50_us = static_cast<int64_t>(latency_us_.Percentile(0.50));
+    s.latency.p99_us = static_cast<int64_t>(latency_us_.Percentile(0.99));
+    s.latency.p999_us = static_cast<int64_t>(latency_us_.Percentile(0.999));
+    s.latency.max_us = static_cast<int64_t>(latency_us_.max());
+    return s;
+  }
+
+ private:
+  std::atomic<int64_t> requests_ok_{0};
+  std::atomic<int64_t> requests_rejected_{0};
+  std::atomic<int64_t> requests_failed_{0};
+  std::atomic<int64_t> rows_validated_{0};
+  std::atomic<int64_t> rows_flagged_{0};
+  std::atomic<int64_t> dirty_batches_{0};
+  std::atomic<int64_t> loads_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> swaps_{0};
+  PercentileCounter latency_us_;
+};
+
+/// The one human-readable stats schema, key=value pairs on one line.
+inline std::string FormatStatsLine(const TenantStatsSnapshot& s) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "tenant=%s resident=%d ok=%lld rejected=%lld failed=%lld "
+      "rows=%lld flagged=%lld dirty=%lld loads=%lld evictions=%lld "
+      "swaps=%lld lat_n=%lld p50_us=%lld p99_us=%lld p999_us=%lld "
+      "max_us=%lld",
+      s.tenant.c_str(), s.resident ? 1 : 0,
+      static_cast<long long>(s.requests_ok),
+      static_cast<long long>(s.requests_rejected),
+      static_cast<long long>(s.requests_failed),
+      static_cast<long long>(s.rows_validated),
+      static_cast<long long>(s.rows_flagged),
+      static_cast<long long>(s.dirty_batches),
+      static_cast<long long>(s.loads),
+      static_cast<long long>(s.evictions),
+      static_cast<long long>(s.swaps),
+      static_cast<long long>(s.latency.count),
+      static_cast<long long>(s.latency.p50_us),
+      static_cast<long long>(s.latency.p99_us),
+      static_cast<long long>(s.latency.p999_us),
+      static_cast<long long>(s.latency.max_us));
+  return std::string(buffer);
+}
+
+}  // namespace dquag
+
+#endif  // DQUAG_SERVE_SERVING_STATS_H_

@@ -84,6 +84,11 @@ StatusOr<float> BinaryReader::ReadFloat() {
 StatusOr<std::string> BinaryReader::ReadString() {
   auto size = ReadU64();
   if (!size.ok()) return size.status();
+  // Bound BEFORE allocating: a hostile length prefix must fail cleanly,
+  // not take the process down with a giant allocation.
+  if (*size > remaining()) {
+    return Status::OutOfRange("string larger than buffer");
+  }
   std::string value(*size, '\0');
   DQUAG_RETURN_IF_ERROR(Take(value.data(), *size));
   return value;

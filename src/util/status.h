@@ -22,6 +22,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  kResourceExhausted,  // admission control: retry later
+  kUnavailable,        // endpoint gone (connection closed, shutting down)
 };
 
 /// Lightweight success/error result. Ok() is the success value; error
@@ -54,6 +56,12 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -75,6 +83,8 @@ class Status {
       case StatusCode::kFailedPrecondition: return "FailedPrecondition";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kIoError: return "IoError";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

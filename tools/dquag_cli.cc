@@ -10,6 +10,13 @@
 //   dquag serve-sim --model model.ckpt --data new.csv [--threads T]
 //                   [--rounds R] [--micro-batch M] [--stream]
 //                   [--chunk-rows N]                 (concurrent serving sim)
+//   dquag serve     --port P [--host H] [--capacity N] [--max-inflight K]
+//                   [--max-connections C] [--micro-batch M]
+//                   [--deploy tenant=model.ckpt[,t2=m2.ckpt...]]
+//                                                    (socket-backed daemon)
+//   dquag deploy    --port P --tenant T --checkpoint model.ckpt [--host H]
+//   dquag stats     --port P [--tenant T] [--host H]
+//   dquag shutdown  --port P [--host H]
 //   dquag schema-template --data data.csv   (guess a schema from a CSV)
 //
 // validate and serve-sim run through the ValidationService: micro-batched
@@ -18,9 +25,17 @@
 // validated and retired with bounded memory, and the verdict is
 // bit-identical to the whole-table run.
 //
+// serve starts the real daemon (serve/server.h): a multi-tenant model
+// registry (LRU-bounded residency, lazy checkpoint loads, atomic hot-swap
+// via repeated `dquag deploy`) behind the length-prefixed wire protocol.
+// It runs until SIGINT or a client's shutdown request, then prints one
+// stats line per tenant — the same schema serve-sim reports.
+//
 // Exit code: 0 on success (validate: also when the batch is clean),
 // 2 when validate classifies the batch dirty, 1 on errors.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -34,6 +49,9 @@
 #include "data/schema_json.h"
 #include "data/table_chunk_reader.h"
 #include "graph/relationship_json.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/serving_stats.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -256,21 +274,39 @@ int CmdServeSim(const Args& args) {
                 static_cast<long long>(rounds),
                 static_cast<long long>(service.options().micro_batch_rows));
   }
+  // Simulated clients report through the SAME lock-free counters the
+  // daemon keeps per tenant, so serve-sim and `dquag stats` emit one
+  // metric schema (serve/serving_stats.h).
+  TenantCounters counters;
   Stopwatch timer;
   std::vector<std::thread> clients;
   clients.reserve(static_cast<size_t>(threads));
   for (int64_t t = 0; t < threads; ++t) {
     clients.emplace_back([&] {
       for (int64_t r = 0; r < rounds; ++r) {
+        Stopwatch request_timer;
         if (stream) {
           // Each round streams the batch through its own cursor; readers
           // are cheap, the chunk buffers live inside ObserveStream.
           TableViewChunkReader reader(&table, chunk_rows);
           auto obs = service.ObserveStream(reader);
           DQUAG_CHECK(obs.ok());  // view readers cannot fail mid-stream
+          counters.RecordRequest(
+              table.num_rows(),
+              static_cast<int64_t>(obs->flagged_fraction *
+                                   static_cast<double>(table.num_rows()) +
+                                   0.5),
+              obs->batch_dirty,
+              static_cast<uint64_t>(request_timer.ElapsedSeconds() * 1e6));
         } else {
           MonitorObservation obs = service.Observe(table);
-          (void)obs;
+          counters.RecordRequest(
+              table.num_rows(),
+              static_cast<int64_t>(obs.flagged_fraction *
+                                   static_cast<double>(table.num_rows()) +
+                                   0.5),
+              obs.batch_dirty,
+              static_cast<uint64_t>(request_timer.ElapsedSeconds() * 1e6));
         }
       }
     });
@@ -291,6 +327,123 @@ int CmdServeSim(const Args& args) {
               static_cast<long long>(stats.dirty_batches),
               static_cast<long long>(stats.batches_validated),
               service.alarming() ? "ALARMING" : "quiet");
+  std::printf("%s\n",
+              FormatStatsLine(counters.Snapshot("sim", true)).c_str());
+  return 0;
+}
+
+volatile std::sig_atomic_t g_interrupted = 0;
+void HandleSigint(int) { g_interrupted = 1; }
+
+/// Parses "tenant=path[,tenant=path...]" from --deploy.
+Status ParseDeploySpec(const std::string& spec,
+                       std::vector<std::pair<std::string, std::string>>* out) {
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(start, comma - start);
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size()) {
+      return Status::InvalidArgument(
+          "--deploy expects tenant=checkpoint, got '" + entry + "'");
+    }
+    out->emplace_back(entry.substr(0, eq), entry.substr(eq + 1));
+    start = comma + 1;
+  }
+  return Status::Ok();
+}
+
+int CmdServe(const Args& args) {
+  ServeOptions options;
+  options.port = static_cast<int>(args.GetInt("port", 0));
+  options.listen_host = args.Get("host", "127.0.0.1");
+  options.max_connections = args.GetInt("max-connections", 64);
+  options.registry.max_resident = args.GetInt("capacity", 4);
+  options.registry.max_inflight_per_tenant = args.GetInt("max-inflight", 32);
+  options.registry.service.micro_batch_rows =
+      args.GetInt("micro-batch", 512);
+
+  std::vector<std::pair<std::string, std::string>> deploys;
+  if (args.Has("deploy")) {
+    Status status = ParseDeploySpec(args.Get("deploy"), &deploys);
+    if (!status.ok()) return Fail(status);
+  }
+
+  ServeDaemon daemon(options);
+  Status status = daemon.Start();
+  if (!status.ok()) return Fail(status);
+  for (const auto& [tenant, path] : deploys) {
+    status = daemon.registry().Deploy(tenant, path);
+    if (!status.ok()) {
+      daemon.Stop();
+      return Fail(status);
+    }
+    std::printf("deployed %s <- %s (lazy)\n", tenant.c_str(), path.c_str());
+  }
+  std::printf("dquag serve: listening on %s:%d (%zu tenants, capacity %lld,"
+              " max-inflight %lld)\n",
+              options.listen_host.c_str(), daemon.port(), deploys.size(),
+              static_cast<long long>(options.registry.max_resident),
+              static_cast<long long>(
+                  options.registry.max_inflight_per_tenant));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGTERM, HandleSigint);
+  while (!daemon.shutdown_requested() && g_interrupted == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  daemon.Stop();
+  for (const TenantStatsSnapshot& snapshot :
+       daemon.registry().StatsSnapshot()) {
+    std::printf("%s\n", FormatStatsLine(snapshot).c_str());
+  }
+  return 0;
+}
+
+StatusOr<ServeClient> ConnectFromArgs(const Args& args) {
+  const int port = static_cast<int>(args.GetInt("port", 0));
+  if (port <= 0) {
+    return Status::InvalidArgument("--port is required");
+  }
+  return ServeClient::Connect(args.Get("host", "127.0.0.1"), port);
+}
+
+int CmdDeploy(const Args& args) {
+  const std::string tenant = args.Get("tenant");
+  const std::string checkpoint = args.Get("checkpoint");
+  if (tenant.empty() || checkpoint.empty()) {
+    std::fprintf(stderr,
+                 "usage: dquag deploy --port P --tenant T "
+                 "--checkpoint model.ckpt [--host H]\n");
+    return 1;
+  }
+  auto client = ConnectFromArgs(args);
+  if (!client.ok()) return Fail(client.status());
+  Status status = client->Deploy(tenant, checkpoint);
+  if (!status.ok()) return Fail(status);
+  std::printf("deployed %s <- %s\n", tenant.c_str(), checkpoint.c_str());
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  auto client = ConnectFromArgs(args);
+  if (!client.ok()) return Fail(client.status());
+  auto stats = client->Stats(args.Get("tenant"));
+  if (!stats.ok()) return Fail(stats.status());
+  for (const TenantStatsSnapshot& snapshot : *stats) {
+    std::printf("%s\n", FormatStatsLine(snapshot).c_str());
+  }
+  return 0;
+}
+
+int CmdShutdown(const Args& args) {
+  auto client = ConnectFromArgs(args);
+  if (!client.ok()) return Fail(client.status());
+  Status status = client->Shutdown();
+  if (!status.ok()) return Fail(status);
+  std::printf("shutdown requested\n");
   return 0;
 }
 
@@ -359,8 +512,9 @@ int CmdSchemaTemplate(const Args& args) {
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: dquag <train|validate|repair|explain|serve-sim|"
-                 "schema-template> [flags]\n");
+                 "usage: dquag <train|validate|repair|explain|serve|"
+                 "serve-sim|deploy|stats|shutdown|schema-template> "
+                 "[flags]\n");
     return 1;
   }
   SetLogLevel(LogLevel::kWarning);
@@ -371,6 +525,10 @@ int Run(int argc, char** argv) {
   if (command == "repair") return CmdRepair(args);
   if (command == "explain") return CmdExplain(args);
   if (command == "serve-sim") return CmdServeSim(args);
+  if (command == "serve") return CmdServe(args);
+  if (command == "deploy") return CmdDeploy(args);
+  if (command == "stats") return CmdStats(args);
+  if (command == "shutdown") return CmdShutdown(args);
   if (command == "schema-template") return CmdSchemaTemplate(args);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 1;
