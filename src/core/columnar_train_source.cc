@@ -1,0 +1,92 @@
+#include "core/columnar_train_source.h"
+
+#include "data/columnar_format.h"
+
+namespace dquag {
+
+StatusOr<std::unique_ptr<ColumnarTrainingSource>>
+ColumnarTrainingSource::Create(ColumnarReader* reader,
+                               const TablePreprocessor& preprocessor) {
+  if (!preprocessor.fitted()) {
+    return Status::FailedPrecondition("preprocessor is not fitted");
+  }
+  if (!(reader->schema() == preprocessor.schema())) {
+    return Status::InvalidArgument(
+        "columnar file schema does not match the preprocessor's schema");
+  }
+  std::unique_ptr<ColumnarTrainingSource> source(
+      new ColumnarTrainingSource());
+  source->reader_ = reader;
+  const Schema& schema = reader->schema();
+  const int64_t num_blocks = reader->num_blocks();
+  source->columns_.resize(static_cast<size_t>(schema.num_columns()));
+  for (int64_t c = 0; c < schema.num_columns(); ++c) {
+    ColumnAccess& access = source->columns_[static_cast<size_t>(c)];
+    access.categorical =
+        schema.column(c).type == ColumnType::kCategorical;
+    access.blocks.resize(static_cast<size_t>(num_blocks));
+    if (access.categorical) {
+      // Per-dictionary-entry scaled value, through the exact Table-path
+      // math: Encode(string) then ScaleCategoricalCode. Unknown-to-the-
+      // preprocessor dictionary entries land on the unknown sentinel just
+      // as they would row by row.
+      const std::vector<std::string>& dict = reader->dictionary(c);
+      const LabelEncoder& encoder = preprocessor.label_encoder(c);
+      access.scaled_codes.reserve(dict.size());
+      for (const std::string& value : dict) {
+        access.scaled_codes.push_back(static_cast<float>(
+            preprocessor.ScaleCategoricalCode(c, encoder.Encode(value))));
+      }
+      access.missing_scaled = static_cast<float>(
+          preprocessor.ScaleCategoricalCode(c, encoder.missing_code()));
+      for (int64_t b = 0; b < num_blocks; ++b) {
+        DQUAG_ASSIGN_OR_RETURN(const CategoricalColumnView view,
+                               reader->CategoricalBlock(b, c));
+        access.blocks[static_cast<size_t>(b)] =
+            BlockPtrs{view.bitmap, nullptr, view.codes};
+      }
+    } else {
+      access.scaler = &preprocessor.minmax_scaler(c);
+      access.missing_scaled =
+          static_cast<float>(access.scaler->Transform(MissingValue()));
+      for (int64_t b = 0; b < num_blocks; ++b) {
+        DQUAG_ASSIGN_OR_RETURN(const NumericColumnView view,
+                               reader->NumericBlock(b, c));
+        access.blocks[static_cast<size_t>(b)] =
+            BlockPtrs{view.bitmap, view.values, nullptr};
+      }
+    }
+  }
+  return source;
+}
+
+Status ColumnarTrainingSource::GatherRows(const size_t* rows, int64_t count,
+                                          float* out) {
+  const int64_t d = num_features();
+  const uint64_t block_rows = static_cast<uint64_t>(reader_->block_rows());
+  const uint64_t total_rows = static_cast<uint64_t>(reader_->num_rows());
+  for (int64_t i = 0; i < count; ++i) {
+    const uint64_t row = rows[i];
+    if (row >= total_rows) {
+      return Status::InvalidArgument("row index out of range");
+    }
+    const size_t block = static_cast<size_t>(row / block_rows);
+    const uint64_t slot = row % block_rows;
+    float* out_row = out + i * d;
+    for (int64_t c = 0; c < d; ++c) {
+      const ColumnAccess& access = columns_[static_cast<size_t>(c)];
+      const BlockPtrs& ptrs = access.blocks[block];
+      if (!columnar::BitmapGet(ptrs.bitmap, slot)) {
+        out_row[c] = access.missing_scaled;
+      } else if (access.categorical) {
+        out_row[c] = access.scaled_codes[ptrs.codes[slot]];
+      } else {
+        out_row[c] =
+            static_cast<float>(access.scaler->Transform(ptrs.numeric[slot]));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dquag

@@ -1,0 +1,69 @@
+// Out-of-core training rows straight from a .dqc file.
+//
+// ColumnarTrainingSource adapts a ColumnarReader plus a fitted
+// TablePreprocessor to the TrainingRowSource interface: GatherRows decodes
+// the requested rows directly from the mmap'd block payloads and applies
+// the per-cell transform in place, so Trainer::Fit streams an arbitrarily
+// large dataset with O(batch) memory.
+//
+// Bit-identity contract: every cell goes through the same double-precision
+// math as TablePreprocessor::Transform on the decoded Table —
+// scaler.Transform(value) for numerics, ScaleCategoricalCode(Encode(s))
+// for categoricals (precomputed once per dictionary entry) — so Fit over
+// this source reproduces the in-memory epoch losses and threshold exactly.
+//
+// Create() touches (checksum-verifies) every block payload up front:
+// training visits all rows every epoch anyway, and paying verification
+// once keeps GatherRows Status-free pointer math.
+
+#ifndef DQUAG_CORE_COLUMNAR_TRAIN_SOURCE_H_
+#define DQUAG_CORE_COLUMNAR_TRAIN_SOURCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/columnar_reader.h"
+#include "data/preprocessor.h"
+
+namespace dquag {
+
+class ColumnarTrainingSource final : public TrainingRowSource {
+ public:
+  /// `reader` and `preprocessor` must outlive the source, share the same
+  /// schema, and `preprocessor` must be fitted. Verifies all block
+  /// payloads.
+  static StatusOr<std::unique_ptr<ColumnarTrainingSource>> Create(
+      ColumnarReader* reader, const TablePreprocessor& preprocessor);
+
+  int64_t num_rows() const override { return reader_->num_rows(); }
+  int64_t num_features() const override {
+    return reader_->schema().num_columns();
+  }
+
+  Status GatherRows(const size_t* rows, int64_t count, float* out) override;
+
+ private:
+  ColumnarTrainingSource() = default;
+
+  /// Per-(column, block) payload pointers into the verified mapping.
+  struct BlockPtrs {
+    const uint8_t* bitmap = nullptr;
+    const double* numeric = nullptr;    // numeric columns
+    const uint32_t* codes = nullptr;    // categorical columns
+  };
+  struct ColumnAccess {
+    bool categorical = false;
+    const MinMaxScaler* scaler = nullptr;   // numeric
+    std::vector<float> scaled_codes;        // categorical: per dict code
+    float missing_scaled = 0.0f;
+    std::vector<BlockPtrs> blocks;
+  };
+
+  ColumnarReader* reader_ = nullptr;
+  std::vector<ColumnAccess> columns_;
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_CORE_COLUMNAR_TRAIN_SOURCE_H_

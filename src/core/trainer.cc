@@ -268,11 +268,50 @@ double Trainer::StepParallel(const Tensor& batch, int64_t num_shards) {
   return loss_value;
 }
 
+namespace {
+
+/// Adapts the in-memory clean matrix to the row-source interface. Gathers
+/// are the exact row copies the pre-streaming Fit performed, so the Tensor
+/// overload's results are unchanged bit for bit.
+class TensorRowSource final : public TrainingRowSource {
+ public:
+  explicit TensorRowSource(const Tensor& matrix) : matrix_(&matrix) {}
+
+  int64_t num_rows() const override { return matrix_->dim(0); }
+  int64_t num_features() const override { return matrix_->dim(1); }
+
+  Status GatherRows(const size_t* rows, int64_t count,
+                    float* out) override {
+    const size_t d = static_cast<size_t>(matrix_->dim(1));
+    for (int64_t i = 0; i < count; ++i) {
+      const float* src = matrix_->data() + rows[i] * d;
+      std::copy(src, src + d, out + static_cast<size_t>(i) * d);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  const Tensor* matrix_;
+};
+
+}  // namespace
+
 TrainingReport Trainer::Fit(const Tensor& clean_matrix) {
   DQUAG_CHECK_EQ(clean_matrix.ndim(), 2);
-  const int64_t rows = clean_matrix.dim(0);
-  const int64_t d = clean_matrix.dim(1);
-  DQUAG_CHECK_EQ(d, model_->num_features());
+  TensorRowSource source(clean_matrix);
+  StatusOr<TrainingReport> report = Fit(source);
+  DQUAG_CHECK(report.ok());  // the in-memory source cannot fail
+  return *std::move(report);
+}
+
+StatusOr<TrainingReport> Trainer::Fit(TrainingRowSource& source) {
+  const int64_t rows = source.num_rows();
+  const int64_t d = source.num_features();
+  if (d != model_->num_features()) {
+    return Status::InvalidArgument(
+        "training source has " + std::to_string(d) + " features, model has " +
+        std::to_string(model_->num_features()));
+  }
 
   // Hold out a calibration split for the error threshold (config comment
   // explains the deviation from in-sample thresholding).
@@ -284,24 +323,26 @@ TrainingReport Trainer::Fit(const Tensor& clean_matrix) {
   rng_.Shuffle(permutation);
 
   const int64_t train_rows = rows - calibration_rows;
-  auto gather_rows = [&](int64_t from, int64_t count) {
+  // The permutation is contiguous per split, so the calibration matrix is
+  // one gather over a permutation span.
+  auto gather_span = [&](int64_t from, int64_t count) -> StatusOr<Tensor> {
     Tensor block({count, d});
-    for (int64_t r = 0; r < count; ++r) {
-      const size_t src = permutation[static_cast<size_t>(from + r)];
-      std::copy(clean_matrix.data() + src * static_cast<size_t>(d),
-                clean_matrix.data() + (src + 1) * static_cast<size_t>(d),
-                block.data() + r * d);
-    }
+    DQUAG_RETURN_IF_ERROR(
+        source.GatherRows(permutation.data() + from, count, block.data()));
     return block;
   };
-  const Tensor calibration_matrix = calibration_rows > 0
-                                        ? gather_rows(train_rows,
-                                                      calibration_rows)
-                                        : gather_rows(0, train_rows);
+  Tensor calibration_matrix;
+  if (calibration_rows > 0) {
+    DQUAG_ASSIGN_OR_RETURN(calibration_matrix,
+                           gather_span(train_rows, calibration_rows));
+  } else {
+    DQUAG_ASSIGN_OR_RETURN(calibration_matrix, gather_span(0, train_rows));
+  }
 
   TrainingReport report;
   std::vector<size_t> order(static_cast<size_t>(train_rows));
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<size_t> batch_rows;
 
   for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
     rng_.Shuffle(order);
@@ -310,16 +351,17 @@ TrainingReport Trainer::Fit(const Tensor& clean_matrix) {
     for (int64_t start = 0; start < train_rows;
          start += config_.batch_size) {
       const int64_t end = std::min(train_rows, start + config_.batch_size);
-      // Mini-batch gathered straight off the clean matrix through the
-      // composed permutation — one row copy, not a train-matrix
-      // materialization plus a batch copy.
-      batch_buffer_.ResizeInPlace({end - start, d});
+      // Mini-batch gathered straight from the source through the composed
+      // permutation — one row copy (or one on-demand decode), never a
+      // train-matrix materialization.
+      batch_rows.resize(static_cast<size_t>(end - start));
       for (int64_t r = start; r < end; ++r) {
-        const size_t src = permutation[order[static_cast<size_t>(r)]];
-        std::copy(clean_matrix.data() + src * static_cast<size_t>(d),
-                  clean_matrix.data() + (src + 1) * static_cast<size_t>(d),
-                  batch_buffer_.data() + (r - start) * d);
+        batch_rows[static_cast<size_t>(r - start)] =
+            permutation[order[static_cast<size_t>(r)]];
       }
+      batch_buffer_.ResizeInPlace({end - start, d});
+      DQUAG_RETURN_IF_ERROR(source.GatherRows(
+          batch_rows.data(), end - start, batch_buffer_.data()));
       epoch_loss += Step(batch_buffer_);
       ++num_batches;
     }

@@ -1,0 +1,83 @@
+// On-disk layout constants shared by the DQuaG columnar writer and reader.
+//
+// A .dqc file is (all integers little-endian / native — the format is not
+// byte-swapped, matching the checkpoint convention):
+//
+//   [ 8B header ]  u32 magic "DQCF", u32 version (currently 1)
+//   [ data      ]  block payloads, each 8-byte aligned, zero-padded between
+//   [ footer    ]  BinaryWriter stream (schema JSON, dictionaries, block
+//                  offset table) — see columnar_writer.cc for field order
+//   [ 32B tail  ]  u64 footer_offset, u64 footer_size,
+//                  u64 footer_checksum (FNV-1a 64), u64 tail magic
+//
+// Rows are grouped into fixed-size blocks of `block_rows` rows (the last
+// block may be short), so row r lives at block r / block_rows, slot
+// r % block_rows — O(1) random access. Each (block, column) pair owns one
+// contiguous payload:
+//
+//   numeric      [ null bitmap, padded to 8B ][ rows × f64 values ]
+//   categorical  [ null bitmap, padded to 8B ][ rows × u32 dictionary
+//                  codes, padded to 8B ]
+//
+// Bitmap bit r (byte r/8, bit r%8) is SET when the value is present; null
+// slots store the canonical missing sentinel (NaN) / code 0 so payloads are
+// deterministic byte-for-byte. Dictionaries are per-column, global to the
+// file, ordered by first appearance, and carry only non-missing values.
+// Every payload is checksummed (FNV-1a 64) in the footer's offset table;
+// readers verify a block on first touch and seek via the footer — they
+// never scan.
+
+#ifndef DQUAG_DATA_COLUMNAR_FORMAT_H_
+#define DQUAG_DATA_COLUMNAR_FORMAT_H_
+
+#include <cstdint>
+
+namespace dquag {
+namespace columnar {
+
+inline constexpr uint32_t kMagic = 0x46435144;      // "DQCF" little-endian
+inline constexpr uint32_t kVersion = 1;
+inline constexpr uint64_t kTailMagic = 0x314C494154435144ULL;  // "DQCTAIL1"
+
+inline constexpr uint64_t kHeaderBytes = 8;
+inline constexpr uint64_t kTailBytes = 32;
+
+/// Hard caps a reader enforces BEFORE trusting footer arithmetic. Far above
+/// any legitimate file, low enough that size computations cannot overflow
+/// uint64 and hostile counts cannot trigger giant allocations.
+inline constexpr uint64_t kMaxBlockRows = uint64_t{1} << 28;
+inline constexpr uint64_t kMaxRows = uint64_t{1} << 44;
+inline constexpr uint64_t kMaxColumns = uint64_t{1} << 20;
+
+/// Column type tags in the footer.
+inline constexpr uint64_t kTypeNumeric = 0;
+inline constexpr uint64_t kTypeCategorical = 1;
+
+inline constexpr uint64_t AlignUp8(uint64_t n) { return (n + 7) & ~uint64_t{7}; }
+
+/// Null-bitmap bytes for `rows` values, padded so the value region that
+/// follows stays 8-byte aligned.
+inline constexpr uint64_t BitmapBytes(uint64_t rows) {
+  return AlignUp8((rows + 7) / 8);
+}
+
+inline constexpr uint64_t NumericPayloadBytes(uint64_t rows) {
+  return BitmapBytes(rows) + rows * 8;
+}
+
+inline constexpr uint64_t CategoricalPayloadBytes(uint64_t rows) {
+  return BitmapBytes(rows) + AlignUp8(rows * 4);
+}
+
+inline bool BitmapGet(const uint8_t* bitmap, uint64_t i) {
+  return (bitmap[i >> 3] >> (i & 7)) & 1;
+}
+
+inline void BitmapSet(uint8_t* bitmap, uint64_t i) {
+  bitmap[i >> 3] |= static_cast<uint8_t>(1u << (i & 7));
+}
+
+}  // namespace columnar
+}  // namespace dquag
+
+#endif  // DQUAG_DATA_COLUMNAR_FORMAT_H_

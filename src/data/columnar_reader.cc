@@ -1,0 +1,315 @@
+#include "data/columnar_reader.h"
+
+#include <cstring>
+
+#include "data/columnar_format.h"
+#include "data/schema_json.h"
+#include "util/binary_io.h"
+#include "util/check.h"
+#include "util/checksum.h"
+
+namespace dquag {
+
+using namespace columnar;  // NOLINT: layout constants
+
+namespace {
+
+Status Corrupt(const std::string& detail) {
+  return Status::InvalidArgument("corrupt columnar file: " + detail);
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ColumnarReader>> ColumnarReader::Open(
+    const std::string& path, ColumnarReaderOptions options) {
+  if (options.chunk_rows <= 0) {
+    return Status::InvalidArgument("chunk_rows must be positive");
+  }
+  std::unique_ptr<ColumnarReader> reader(new ColumnarReader());
+  reader->options_ = options;
+  DQUAG_ASSIGN_OR_RETURN(reader->file_, MmapFile::Open(path));
+  const uint8_t* data = reader->file_.data();
+  const uint64_t size = reader->file_.size();
+  if (size < kHeaderBytes + kTailBytes) {
+    return Corrupt("file smaller than header + tail");
+  }
+  if (LoadU32(data) != kMagic) return Corrupt("bad magic");
+  const uint32_t version = LoadU32(data + 4);
+  if (version != kVersion) {
+    return Corrupt("unsupported version " + std::to_string(version));
+  }
+
+  const uint8_t* tail = data + size - kTailBytes;
+  const uint64_t footer_offset = LoadU64(tail);
+  const uint64_t footer_size = LoadU64(tail + 8);
+  const uint64_t footer_checksum = LoadU64(tail + 16);
+  if (LoadU64(tail + 24) != kTailMagic) return Corrupt("bad tail magic");
+  // The footer must sit exactly between the data region and the tail:
+  // both bounds checked against the real file size before it is read.
+  if (footer_offset < kHeaderBytes || footer_offset > size - kTailBytes ||
+      footer_size != size - kTailBytes - footer_offset) {
+    return Corrupt("footer bounds out of range");
+  }
+  if (Fnv1a64(data + footer_offset, footer_size) != footer_checksum) {
+    return Corrupt("footer checksum mismatch");
+  }
+  // Safe to copy: footer_size is bounded by the actual file size.
+  std::string footer(reinterpret_cast<const char*>(data + footer_offset),
+                     footer_size);
+  DQUAG_RETURN_IF_ERROR(reader->ParseFooter(footer));
+  return reader;
+}
+
+Status ColumnarReader::ParseFooter(const std::string& footer) {
+  const uint64_t data_end = file_.size() - kTailBytes - footer.size();
+  BinaryReader in(footer);
+
+  DQUAG_ASSIGN_OR_RETURN(const std::string schema_json, in.ReadString());
+  DQUAG_ASSIGN_OR_RETURN(schema_, SchemaFromJson(schema_json));
+  const uint64_t cols = static_cast<uint64_t>(schema_.num_columns());
+  if (cols == 0) return Corrupt("schema has no columns");
+  if (cols > kMaxColumns) return Corrupt("too many columns");
+
+  DQUAG_ASSIGN_OR_RETURN(const uint64_t num_rows, in.ReadU64());
+  DQUAG_ASSIGN_OR_RETURN(const uint64_t block_rows, in.ReadU64());
+  DQUAG_ASSIGN_OR_RETURN(const uint64_t num_blocks, in.ReadU64());
+  if (num_rows > kMaxRows) return Corrupt("row count out of range");
+  if (block_rows == 0 || block_rows > kMaxBlockRows) {
+    return Corrupt("block_rows out of range");
+  }
+  const uint64_t want_blocks =
+      num_rows == 0 ? 0 : (num_rows + block_rows - 1) / block_rows;
+  if (num_blocks != want_blocks) return Corrupt("block count mismatch");
+  num_rows_ = static_cast<int64_t>(num_rows);
+  block_rows_ = static_cast<int64_t>(block_rows);
+
+  dictionaries_.resize(cols);
+  for (uint64_t c = 0; c < cols; ++c) {
+    DQUAG_ASSIGN_OR_RETURN(const uint64_t tag, in.ReadU64());
+    const bool categorical =
+        schema_.column(static_cast<int64_t>(c)).type ==
+        ColumnType::kCategorical;
+    if (tag != (categorical ? kTypeCategorical : kTypeNumeric)) {
+      return Corrupt("column type tag disagrees with schema");
+    }
+    if (!categorical) continue;
+    DQUAG_ASSIGN_OR_RETURN(const uint64_t dict_size, in.ReadU64());
+    // Each entry costs at least an 8-byte length prefix, so a hostile
+    // count larger than the remaining footer bytes / 8 cannot be real —
+    // reject before reserving.
+    if (dict_size > in.remaining() / 8 ||
+        dict_size > uint64_t{1} << 32) {
+      return Corrupt("dictionary size out of range");
+    }
+    dictionaries_[c].reserve(dict_size);
+    for (uint64_t i = 0; i < dict_size; ++i) {
+      DQUAG_ASSIGN_OR_RETURN(std::string value, in.ReadString());
+      dictionaries_[c].push_back(std::move(value));
+    }
+  }
+
+  // Each block row-count is one u64 and each entry three: bound the count
+  // by the bytes actually present before reserving.
+  if (num_blocks > in.remaining() / 8) return Corrupt("block table truncated");
+  blocks_.reserve(num_blocks);
+  uint64_t rows_seen = 0;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    DQUAG_ASSIGN_OR_RETURN(const uint64_t rows, in.ReadU64());
+    const bool last = b + 1 == num_blocks;
+    // All blocks but the last hold exactly block_rows rows — that is what
+    // makes row -> (block, slot) a division instead of a search.
+    if (rows == 0 || rows > block_rows || (!last && rows != block_rows)) {
+      return Corrupt("bad block row count");
+    }
+    Block block;
+    block.rows = static_cast<int64_t>(rows);
+    block.first_row = static_cast<int64_t>(rows_seen);
+    rows_seen += rows;
+    block.columns.resize(cols);
+    for (uint64_t c = 0; c < cols; ++c) {
+      BlockColumnEntry& entry = block.columns[c];
+      DQUAG_ASSIGN_OR_RETURN(entry.offset, in.ReadU64());
+      DQUAG_ASSIGN_OR_RETURN(entry.bytes, in.ReadU64());
+      DQUAG_ASSIGN_OR_RETURN(entry.checksum, in.ReadU64());
+      const bool categorical =
+          schema_.column(static_cast<int64_t>(c)).type ==
+          ColumnType::kCategorical;
+      const uint64_t want_bytes = categorical
+                                      ? CategoricalPayloadBytes(rows)
+                                      : NumericPayloadBytes(rows);
+      if (entry.bytes != want_bytes) return Corrupt("bad payload size");
+      if (entry.offset % 8 != 0 || entry.offset < kHeaderBytes ||
+          entry.offset > data_end || entry.bytes > data_end - entry.offset) {
+        return Corrupt("payload out of bounds");
+      }
+    }
+    blocks_.push_back(std::move(block));
+  }
+  if (rows_seen != num_rows) return Corrupt("block rows do not sum");
+  if (!in.AtEnd()) return Corrupt("trailing bytes after block table");
+
+  verified_.assign(static_cast<size_t>(num_blocks * cols), 0);
+  return Status::Ok();
+}
+
+StatusOr<const uint8_t*> ColumnarReader::TouchPayload(int64_t block,
+                                                      int64_t column) {
+  if (block < 0 || block >= num_blocks() || column < 0 ||
+      column >= schema_.num_columns()) {
+    return Status::InvalidArgument("block/column index out of range");
+  }
+  const Block& b = blocks_[static_cast<size_t>(block)];
+  const BlockColumnEntry& entry = b.columns[static_cast<size_t>(column)];
+  const uint8_t* payload = file_.data() + entry.offset;
+  const size_t slot = static_cast<size_t>(
+      block * schema_.num_columns() + column);
+  if (!verified_[slot]) {
+    if (Fnv1a64(payload, entry.bytes) != entry.checksum) {
+      return Corrupt("payload checksum mismatch (block " +
+                     std::to_string(block) + ", column " +
+                     std::to_string(column) + ")");
+    }
+    if (schema_.column(column).type == ColumnType::kCategorical) {
+      // Range-check codes once here so every later decode / view consumer
+      // can index the dictionary without branching.
+      const uint64_t rows = static_cast<uint64_t>(b.rows);
+      const uint8_t* bitmap = payload;
+      const uint8_t* codes = payload + BitmapBytes(rows);
+      const uint64_t dict_size =
+          dictionaries_[static_cast<size_t>(column)].size();
+      for (uint64_t r = 0; r < rows; ++r) {
+        if (BitmapGet(bitmap, r) && LoadU32(codes + r * 4) >= dict_size) {
+          return Corrupt("dictionary code out of range");
+        }
+      }
+    }
+    bytes_touched_ += entry.bytes;
+    verified_[slot] = 1;
+  }
+  return payload;
+}
+
+StatusOr<NumericColumnView> ColumnarReader::NumericBlock(int64_t block,
+                                                         int64_t column) {
+  if (column < 0 || column >= schema_.num_columns() ||
+      schema_.column(column).type != ColumnType::kNumeric) {
+    return Status::InvalidArgument("not a numeric column");
+  }
+  DQUAG_ASSIGN_OR_RETURN(const uint8_t* payload, TouchPayload(block, column));
+  const Block& b = blocks_[static_cast<size_t>(block)];
+  NumericColumnView view;
+  view.bitmap = payload;
+  view.values = reinterpret_cast<const double*>(
+      payload + BitmapBytes(static_cast<uint64_t>(b.rows)));
+  view.rows = b.rows;
+  return view;
+}
+
+StatusOr<CategoricalColumnView> ColumnarReader::CategoricalBlock(
+    int64_t block, int64_t column) {
+  if (column < 0 || column >= schema_.num_columns() ||
+      schema_.column(column).type != ColumnType::kCategorical) {
+    return Status::InvalidArgument("not a categorical column");
+  }
+  DQUAG_ASSIGN_OR_RETURN(const uint8_t* payload, TouchPayload(block, column));
+  const Block& b = blocks_[static_cast<size_t>(block)];
+  CategoricalColumnView view;
+  view.bitmap = payload;
+  view.codes = reinterpret_cast<const uint32_t*>(
+      payload + BitmapBytes(static_cast<uint64_t>(b.rows)));
+  view.rows = b.rows;
+  return view;
+}
+
+const std::vector<std::string>& ColumnarReader::dictionary(
+    int64_t column) const {
+  DQUAG_CHECK(schema_.column(column).type == ColumnType::kCategorical);
+  return dictionaries_[static_cast<size_t>(column)];
+}
+
+Status ColumnarReader::DecodeRows(int64_t block, int64_t row_in_block,
+                                  int64_t count, Table& chunk) {
+  for (int64_t c = 0; c < schema_.num_columns(); ++c) {
+    const size_t ci = static_cast<size_t>(c);
+    if (schema_.column(c).type == ColumnType::kNumeric) {
+      DQUAG_ASSIGN_OR_RETURN(const NumericColumnView view,
+                             NumericBlock(block, c));
+      std::vector<double>& dst = chunk.numeric_columns_[ci];
+      const size_t base = dst.size();
+      dst.insert(dst.end(), view.values + row_in_block,
+                 view.values + row_in_block + count);
+      // The writer canonicalizes null slots to NaN, but the bitmap is the
+      // source of truth — patch any present-bit-clear slot a hostile (or
+      // foreign) writer left non-NaN.
+      for (int64_t r = 0; r < count; ++r) {
+        if (!BitmapGet(view.bitmap,
+                       static_cast<uint64_t>(row_in_block + r))) {
+          dst[base + static_cast<size_t>(r)] = MissingValue();
+        }
+      }
+    } else {
+      DQUAG_ASSIGN_OR_RETURN(const CategoricalColumnView view,
+                             CategoricalBlock(block, c));
+      const std::vector<std::string>& dict = dictionaries_[ci];
+      std::vector<std::string>& dst = chunk.categorical_columns_[ci];
+      for (int64_t r = 0; r < count; ++r) {
+        const uint64_t slot = static_cast<uint64_t>(row_in_block + r);
+        if (BitmapGet(view.bitmap, slot)) {
+          dst.push_back(dict[view.codes[slot]]);
+        } else {
+          dst.emplace_back();
+        }
+      }
+    }
+  }
+  chunk.num_rows_ += count;
+  return Status::Ok();
+}
+
+StatusOr<int64_t> ColumnarReader::Next(Table& chunk) {
+  if (chunk.schema() == schema_) {
+    chunk.Clear();
+  } else {
+    chunk = Table(schema_);
+  }
+  const int64_t take = std::min(options_.chunk_rows, num_rows_ - cursor_);
+  if (take <= 0) return int64_t{0};
+  int64_t delivered = 0;
+  while (delivered < take) {
+    const int64_t block = cursor_ / block_rows_;
+    const int64_t row_in_block = cursor_ % block_rows_;
+    const int64_t n =
+        std::min(take - delivered,
+                 blocks_[static_cast<size_t>(block)].rows - row_in_block);
+    DQUAG_RETURN_IF_ERROR(DecodeRows(block, row_in_block, n, chunk));
+    cursor_ += n;
+    delivered += n;
+  }
+  return take;
+}
+
+StatusOr<Table> ReadColumnarTable(const std::string& path) {
+  DQUAG_ASSIGN_OR_RETURN(auto reader, ColumnarReader::Open(path));
+  Table out(reader->schema());
+  Table chunk;
+  for (;;) {
+    DQUAG_ASSIGN_OR_RETURN(const int64_t got, reader->Next(chunk));
+    if (got == 0) break;
+    out.AppendRows(chunk);
+  }
+  return out;
+}
+
+}  // namespace dquag

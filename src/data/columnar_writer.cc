@@ -1,0 +1,215 @@
+#include "data/columnar_writer.h"
+
+#include <cstring>
+
+#include "data/columnar_format.h"
+#include "data/schema_json.h"
+#include "data/table_chunk_reader.h"
+#include "util/binary_io.h"
+#include "util/checksum.h"
+
+namespace dquag {
+
+using namespace columnar;  // NOLINT: layout constants
+
+ColumnarWriter::ColumnarWriter(Schema schema, ColumnarWriterOptions options)
+    : schema_(std::move(schema)), options_(options), buffer_(schema_) {
+  const size_t d = static_cast<size_t>(schema_.num_columns());
+  dictionaries_.resize(d);
+  dictionary_index_.resize(d);
+}
+
+StatusOr<std::unique_ptr<ColumnarWriter>> ColumnarWriter::Open(
+    const std::string& path, const Schema& schema,
+    ColumnarWriterOptions options) {
+  if (schema.num_columns() <= 0) {
+    return Status::InvalidArgument(
+        "columnar writer needs a schema with at least one column");
+  }
+  if (options.block_rows <= 0 ||
+      static_cast<uint64_t>(options.block_rows) > kMaxBlockRows) {
+    return Status::InvalidArgument("block_rows out of range");
+  }
+  std::unique_ptr<ColumnarWriter> writer(
+      new ColumnarWriter(schema, options));
+  writer->path_ = path;
+  writer->file_.open(path, std::ios::binary | std::ios::trunc);
+  if (!writer->file_) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const uint32_t header[2] = {kMagic, kVersion};
+  DQUAG_RETURN_IF_ERROR(writer->WriteBytes(header, sizeof(header)));
+  return writer;
+}
+
+Status ColumnarWriter::WriteBytes(const void* data, size_t size) {
+  file_.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  if (!file_) return Status::IoError("write failed for " + path_);
+  write_offset_ += size;
+  return Status::Ok();
+}
+
+Status ColumnarWriter::Append(const Table& chunk) {
+  if (finished_) {
+    return Status::FailedPrecondition("Append after Finish");
+  }
+  if (!(chunk.schema() == schema_)) {
+    return Status::InvalidArgument(
+        "appended chunk schema does not match the writer's schema");
+  }
+  int64_t start = 0;
+  while (start < chunk.num_rows()) {
+    const int64_t space = options_.block_rows - buffer_.num_rows();
+    const int64_t take = std::min(space, chunk.num_rows() - start);
+    buffer_.AppendRows(chunk, start, take);
+    start += take;
+    if (buffer_.num_rows() == options_.block_rows) {
+      DQUAG_RETURN_IF_ERROR(FlushBlock());
+    }
+  }
+  return Status::Ok();
+}
+
+Status ColumnarWriter::FlushBlock() {
+  const uint64_t rows = static_cast<uint64_t>(buffer_.num_rows());
+  if (rows == 0) return Status::Ok();
+  block_row_counts_.push_back(buffer_.num_rows());
+  block_entries_.emplace_back();
+  std::vector<BlockColumnEntry>& entries = block_entries_.back();
+  entries.resize(static_cast<size_t>(schema_.num_columns()));
+
+  for (int64_t c = 0; c < schema_.num_columns(); ++c) {
+    const size_t ci = static_cast<size_t>(c);
+    const bool categorical =
+        schema_.column(c).type == ColumnType::kCategorical;
+    const uint64_t bitmap_bytes = BitmapBytes(rows);
+    const uint64_t payload_bytes = categorical
+                                       ? CategoricalPayloadBytes(rows)
+                                       : NumericPayloadBytes(rows);
+    payload_scratch_.assign(payload_bytes, '\0');
+    uint8_t* bitmap = reinterpret_cast<uint8_t*>(payload_scratch_.data());
+    char* values = payload_scratch_.data() + bitmap_bytes;
+
+    if (categorical) {
+      const std::vector<std::string>& column = buffer_.Categorical(c);
+      auto& dict = dictionaries_[ci];
+      auto& index = dictionary_index_[ci];
+      for (uint64_t r = 0; r < rows; ++r) {
+        const std::string& cell = column[r];
+        uint32_t code = 0;  // null slots keep the deterministic zero code
+        if (!cell.empty()) {
+          BitmapSet(bitmap, r);
+          auto [it, inserted] =
+              index.emplace(cell, static_cast<uint32_t>(dict.size()));
+          if (inserted) dict.push_back(cell);
+          code = it->second;
+        }
+        std::memcpy(values + r * 4, &code, 4);
+      }
+    } else {
+      const std::vector<double>& column = buffer_.Numeric(c);
+      for (uint64_t r = 0; r < rows; ++r) {
+        // Canonical NaN for null slots so payload bytes are deterministic
+        // regardless of which NaN pattern the table carried.
+        double v = MissingValue();
+        if (!IsMissing(column[r])) {
+          BitmapSet(bitmap, r);
+          v = column[r];
+        }
+        std::memcpy(values + r * 8, &v, 8);
+      }
+    }
+
+    // Align the payload start, record its address, write it.
+    const uint64_t aligned = AlignUp8(write_offset_);
+    if (aligned > write_offset_) {
+      static const char kZeros[8] = {0};
+      DQUAG_RETURN_IF_ERROR(WriteBytes(kZeros, aligned - write_offset_));
+    }
+    entries[ci].offset = write_offset_;
+    entries[ci].bytes = payload_bytes;
+    entries[ci].checksum =
+        Fnv1a64(payload_scratch_.data(), payload_scratch_.size());
+    DQUAG_RETURN_IF_ERROR(
+        WriteBytes(payload_scratch_.data(), payload_scratch_.size()));
+  }
+
+  rows_written_ += buffer_.num_rows();
+  buffer_.Clear();
+  return Status::Ok();
+}
+
+Status ColumnarWriter::Finish() {
+  if (finished_) return Status::FailedPrecondition("Finish called twice");
+  DQUAG_RETURN_IF_ERROR(FlushBlock());
+  finished_ = true;
+
+  BinaryWriter footer;
+  footer.WriteString(SchemaToJson(schema_));
+  footer.WriteU64(static_cast<uint64_t>(rows_written_));
+  footer.WriteU64(static_cast<uint64_t>(options_.block_rows));
+  footer.WriteU64(static_cast<uint64_t>(block_row_counts_.size()));
+  for (int64_t c = 0; c < schema_.num_columns(); ++c) {
+    const size_t ci = static_cast<size_t>(c);
+    if (schema_.column(c).type == ColumnType::kCategorical) {
+      footer.WriteU64(kTypeCategorical);
+      footer.WriteU64(dictionaries_[ci].size());
+      for (const std::string& value : dictionaries_[ci]) {
+        footer.WriteString(value);
+      }
+    } else {
+      footer.WriteU64(kTypeNumeric);
+    }
+  }
+  for (size_t b = 0; b < block_row_counts_.size(); ++b) {
+    footer.WriteU64(static_cast<uint64_t>(block_row_counts_[b]));
+    for (const BlockColumnEntry& entry : block_entries_[b]) {
+      footer.WriteU64(entry.offset);
+      footer.WriteU64(entry.bytes);
+      footer.WriteU64(entry.checksum);
+    }
+  }
+
+  const uint64_t footer_offset = write_offset_;
+  DQUAG_RETURN_IF_ERROR(
+      WriteBytes(footer.buffer().data(), footer.buffer().size()));
+  const uint64_t tail[4] = {
+      footer_offset, footer.buffer().size(),
+      Fnv1a64(footer.buffer().data(), footer.buffer().size()), kTailMagic};
+  DQUAG_RETURN_IF_ERROR(WriteBytes(tail, sizeof(tail)));
+  file_.flush();
+  if (!file_) return Status::IoError("flush failed for " + path_);
+  file_.close();
+  return Status::Ok();
+}
+
+StatusOr<int64_t> ConvertCsvToColumnar(const std::string& csv_path,
+                                       const Schema& schema,
+                                       const std::string& dqc_path,
+                                       ColumnarWriterOptions options) {
+  CsvChunkReaderOptions reader_options;
+  reader_options.chunk_rows = options.block_rows;
+  DQUAG_ASSIGN_OR_RETURN(
+      auto reader, CsvChunkReader::Open(csv_path, schema, reader_options));
+  DQUAG_ASSIGN_OR_RETURN(auto writer,
+                         ColumnarWriter::Open(dqc_path, schema, options));
+  Table chunk;
+  for (;;) {
+    DQUAG_ASSIGN_OR_RETURN(const int64_t got, reader->Next(chunk));
+    if (got == 0) break;
+    DQUAG_RETURN_IF_ERROR(writer->Append(chunk));
+  }
+  DQUAG_RETURN_IF_ERROR(writer->Finish());
+  return writer->rows_written();
+}
+
+Status WriteColumnarFile(const Table& table, const std::string& path,
+                         ColumnarWriterOptions options) {
+  DQUAG_ASSIGN_OR_RETURN(auto writer,
+                         ColumnarWriter::Open(path, table.schema(), options));
+  DQUAG_RETURN_IF_ERROR(writer->Append(table));
+  return writer->Finish();
+}
+
+}  // namespace dquag

@@ -1,0 +1,97 @@
+// Buffered writer for the DQuaG columnar file format (.dqc).
+//
+// Append() rows in any chunking; the writer buffers them into fixed-size
+// row blocks and flushes each full block as per-column payloads (null
+// bitmap + contiguous values / dictionary codes, see columnar_format.h).
+// Finish() flushes the tail block and writes the footer: schema JSON,
+// per-column dictionaries, and the (offset, bytes, checksum) table every
+// block payload is addressed through. Output is deterministic byte-for-byte
+// for a given row stream — golden tests pin the generators' .dqc bytes.
+//
+// Memory stays O(block_rows + dictionaries): conversion from CSV runs
+// out-of-core end to end (CsvChunkReader -> Append).
+
+#ifndef DQUAG_DATA_COLUMNAR_WRITER_H_
+#define DQUAG_DATA_COLUMNAR_WRITER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/table.h"
+
+namespace dquag {
+
+struct ColumnarWriterOptions {
+  /// Rows per block: the unit of checksumming, random access, and reader
+  /// chunk IO.
+  int64_t block_rows = 4096;
+};
+
+class ColumnarWriter {
+ public:
+  /// Creates `path` (truncating) for a table of `schema`. The schema must
+  /// have at least one column.
+  static StatusOr<std::unique_ptr<ColumnarWriter>> Open(
+      const std::string& path, const Schema& schema,
+      ColumnarWriterOptions options = {});
+
+  ColumnarWriter(const ColumnarWriter&) = delete;
+  ColumnarWriter& operator=(const ColumnarWriter&) = delete;
+
+  /// Appends all rows of `chunk` (same schema required).
+  Status Append(const Table& chunk);
+
+  /// Flushes buffered rows and writes footer + tail. Must be called exactly
+  /// once; without it the file is invalid (readers reject it).
+  Status Finish();
+
+  int64_t rows_written() const { return rows_written_; }
+  const Schema& schema() const { return schema_; }
+
+ private:
+  ColumnarWriter(Schema schema, ColumnarWriterOptions options);
+
+  /// Encodes and writes the buffered block's payloads.
+  Status FlushBlock();
+  Status WriteBytes(const void* data, size_t size);
+
+  struct BlockColumnEntry {
+    uint64_t offset = 0;
+    uint64_t bytes = 0;
+    uint64_t checksum = 0;
+  };
+
+  Schema schema_;
+  ColumnarWriterOptions options_;
+  std::string path_;
+  std::ofstream file_;
+  Table buffer_;                   // up to block_rows pending rows
+  uint64_t write_offset_ = 0;      // bytes written so far
+  int64_t rows_written_ = 0;
+  bool finished_ = false;
+  std::vector<int64_t> block_row_counts_;
+  std::vector<std::vector<BlockColumnEntry>> block_entries_;  // [block][col]
+  // Per categorical column: first-appearance dictionary + lookup.
+  std::vector<std::vector<std::string>> dictionaries_;
+  std::vector<std::unordered_map<std::string, uint32_t>> dictionary_index_;
+  std::string payload_scratch_;
+};
+
+/// Streams a CSV file into a .dqc file without materializing it: the
+/// workhorse behind `dquag convert`. Returns the number of rows converted.
+StatusOr<int64_t> ConvertCsvToColumnar(const std::string& csv_path,
+                                       const Schema& schema,
+                                       const std::string& dqc_path,
+                                       ColumnarWriterOptions options = {});
+
+/// Writes an in-memory table as a .dqc file (tests, goldens).
+Status WriteColumnarFile(const Table& table, const std::string& path,
+                         ColumnarWriterOptions options = {});
+
+}  // namespace dquag
+
+#endif  // DQUAG_DATA_COLUMNAR_WRITER_H_

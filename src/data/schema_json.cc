@@ -1,6 +1,7 @@
 #include "data/schema_json.h"
 
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "util/json.h"
@@ -21,15 +22,28 @@ StatusOr<Schema> SchemaFromJson(const std::string& json_text) {
     return Status::InvalidArgument("'columns' must be a non-empty array");
   }
   std::vector<ColumnSpec> specs;
+  std::set<std::string> seen_names;
   for (size_t i = 0; i < columns.size(); ++i) {
     const JsonValue& entry = columns.at(i);
+    // Type-check every field before the checked accessors: hostile JSON
+    // (e.g. a number where a string belongs) must fail with Status, not
+    // trip a DQUAG_CHECK abort.
     if (!entry.is_object() || !entry.Contains("name") ||
-        !entry.Contains("type")) {
+        !entry.Contains("type") || !entry.at("name").is_string() ||
+        !entry.at("type").is_string()) {
       return Status::InvalidArgument(
-          "column entries need 'name' and 'type'");
+          "column entries need string 'name' and 'type'");
     }
     ColumnSpec spec;
     spec.name = entry.at("name").AsString();
+    if (spec.name.empty()) {
+      return Status::InvalidArgument("column name must not be empty");
+    }
+    // Schema's constructor CHECK-asserts unique names; reject duplicates
+    // here so file input can never reach that abort.
+    if (!seen_names.insert(spec.name).second) {
+      return Status::InvalidArgument("duplicate column name: " + spec.name);
+    }
     const std::string type = ToLower(entry.at("type").AsString());
     if (type == "numeric" || type == "number" || type == "float" ||
         type == "int") {
@@ -41,6 +55,10 @@ StatusOr<Schema> SchemaFromJson(const std::string& json_text) {
       return Status::InvalidArgument("unknown column type: " + type);
     }
     if (entry.Contains("description")) {
+      if (!entry.at("description").is_string()) {
+        return Status::InvalidArgument(
+            "column 'description' must be a string");
+      }
       spec.description = entry.at("description").AsString();
     }
     specs.push_back(std::move(spec));

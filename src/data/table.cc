@@ -224,7 +224,9 @@ Status ParseCsvRow(const Schema& schema,
       } else {
         char* end = nullptr;
         const double v = std::strtod(trimmed.c_str(), &end);
-        if (end == trimmed.c_str()) {
+        // The whole cell must parse: strtod stopping early ("12abc") is a
+        // malformed cell, not the number 12.
+        if (end != trimmed.c_str() + trimmed.size()) {
           return Status::InvalidArgument(
               "CSV row " + std::to_string(row_number) + ", column '" +
               schema.column(c).name + "' (index " + std::to_string(c) +

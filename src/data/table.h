@@ -120,6 +120,10 @@ class Table {
                                  const CsvDocument& doc);
 
  private:
+  // ColumnarReader decodes .dqc block payloads straight into the column
+  // buffers (bulk per-column appends instead of per-row AppendRow).
+  friend class ColumnarReader;
+
   Schema schema_;
   // Parallel to schema: exactly one of the two per column is used.
   std::vector<std::vector<double>> numeric_columns_;

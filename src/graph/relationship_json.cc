@@ -47,11 +47,28 @@ StatusOr<std::vector<FeatureRelationship>> RelationshipsFromJson(
       return Status::InvalidArgument(
           "relationship entries need feature1 and feature2");
     }
+    // Type-check before the checked accessors so hostile JSON fails with
+    // Status instead of a DQUAG_CHECK abort.
+    if (!entry.at("feature1").is_string() ||
+        !entry.at("feature2").is_string()) {
+      return Status::InvalidArgument(
+          "feature1 and feature2 must be strings");
+    }
     FeatureRelationship rel;
     rel.feature1 = entry.at("feature1").AsString();
     rel.feature2 = entry.at("feature2").AsString();
-    if (entry.Contains("score")) rel.score = entry.at("score").AsNumber();
-    if (entry.Contains("kind")) rel.kind = entry.at("kind").AsString();
+    if (entry.Contains("score")) {
+      if (!entry.at("score").is_number()) {
+        return Status::InvalidArgument("'score' must be a number");
+      }
+      rel.score = entry.at("score").AsNumber();
+    }
+    if (entry.Contains("kind")) {
+      if (!entry.at("kind").is_string()) {
+        return Status::InvalidArgument("'kind' must be a string");
+      }
+      rel.kind = entry.at("kind").AsString();
+    }
     relationships.push_back(std::move(rel));
   }
   return relationships;

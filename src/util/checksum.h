@@ -1,0 +1,36 @@
+// Checksums for on-disk block integrity.
+//
+// FNV-1a 64: tiny, dependency-free, and byte-order independent — the same
+// hash the golden tests use to pin tables. Columnar block payloads and
+// footers are checksummed with it so a reader can distinguish "corrupt
+// file" from "bug" before decoding a single value. FNV is not
+// cryptographic; it guards against bit rot and truncation, not adversaries
+// who can recompute checksums.
+
+#ifndef DQUAG_UTIL_CHECKSUM_H_
+#define DQUAG_UTIL_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dquag {
+
+inline constexpr uint64_t kFnv1a64Offset = 1469598103934665603ULL;
+inline constexpr uint64_t kFnv1a64Prime = 1099511628211ULL;
+
+/// FNV-1a 64-bit over a byte range. `seed` chains multi-buffer hashes:
+/// Fnv1a64(b, nb, Fnv1a64(a, na)) == hash of a||b.
+inline uint64_t Fnv1a64(const void* data, size_t size,
+                        uint64_t seed = kFnv1a64Offset) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+}  // namespace dquag
+
+#endif  // DQUAG_UTIL_CHECKSUM_H_

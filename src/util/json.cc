@@ -193,7 +193,11 @@ std::string JsonValue::Dump(int indent) const {
 
 namespace {
 
-/// Recursive-descent JSON parser over a string buffer.
+/// Recursive-descent JSON parser over a string buffer. Nesting is capped:
+/// parser recursion depth tracks bracket depth, so a hostile "[[[[..."
+/// would otherwise overflow the stack long before any other limit binds.
+constexpr int kMaxJsonDepth = 128;
+
 class JsonParser {
  public:
   explicit JsonParser(const std::string& text) : text_(text) {}
@@ -201,7 +205,7 @@ class JsonParser {
   StatusOr<JsonValue> Parse() {
     SkipWhitespace();
     JsonValue value;
-    Status st = ParseValue(value);
+    Status st = ParseValue(value, 0);
     if (!st.ok()) return st;
     SkipWhitespace();
     if (pos_ != text_.size()) {
@@ -219,21 +223,24 @@ class JsonParser {
     }
   }
 
-  Status ParseValue(JsonValue& out) {
+  Status ParseValue(JsonValue& out, int depth) {
     SkipWhitespace();
     if (pos_ >= text_.size()) {
       return Status::InvalidArgument("unexpected end of input");
     }
+    if (depth > kMaxJsonDepth) {
+      return Status::InvalidArgument("JSON nesting exceeds depth limit");
+    }
     const char c = text_[pos_];
-    if (c == '{') return ParseObject(out);
-    if (c == '[') return ParseArray(out);
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
     if (c == '"') return ParseString(out);
     if (c == 't' || c == 'f') return ParseBool(out);
     if (c == 'n') return ParseNull(out);
     return ParseNumber(out);
   }
 
-  Status ParseObject(JsonValue& out) {
+  Status ParseObject(JsonValue& out, int depth) {
     ++pos_;  // consume '{'
     out = JsonValue::Object();
     SkipWhitespace();
@@ -256,7 +263,7 @@ class JsonParser {
       }
       ++pos_;
       JsonValue value;
-      DQUAG_RETURN_IF_ERROR(ParseValue(value));
+      DQUAG_RETURN_IF_ERROR(ParseValue(value, depth + 1));
       out.Set(key.AsString(), std::move(value));
       SkipWhitespace();
       if (pos_ >= text_.size()) {
@@ -275,7 +282,7 @@ class JsonParser {
     }
   }
 
-  Status ParseArray(JsonValue& out) {
+  Status ParseArray(JsonValue& out, int depth) {
     ++pos_;  // consume '['
     out = JsonValue::Array();
     SkipWhitespace();
@@ -285,7 +292,7 @@ class JsonParser {
     }
     for (;;) {
       JsonValue element;
-      DQUAG_RETURN_IF_ERROR(ParseValue(element));
+      DQUAG_RETURN_IF_ERROR(ParseValue(element, depth + 1));
       out.Append(std::move(element));
       SkipWhitespace();
       if (pos_ >= text_.size()) {

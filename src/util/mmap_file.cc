@@ -1,0 +1,95 @@
+#include "util/mmap_file.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DQUAG_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define DQUAG_HAVE_MMAP 0
+#endif
+
+namespace dquag {
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    fallback_ = std::move(other.fallback_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+    if (!mapped_ && size_ > 0) data_ = fallback_.data();
+  }
+  return *this;
+}
+
+void MmapFile::Reset() {
+#if DQUAG_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.clear();
+}
+
+Status MmapFile::ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open " + path);
+  const std::streamoff end = in.tellg();
+  if (end < 0) return Status::IoError("cannot size " + path);
+  fallback_.resize(static_cast<size_t>(end));
+  in.seekg(0);
+  if (end > 0) {
+    in.read(reinterpret_cast<char*>(fallback_.data()), end);
+    if (!in) return Status::IoError("read failed for " + path);
+  }
+  size_ = fallback_.size();
+  data_ = size_ > 0 ? fallback_.data() : nullptr;
+  mapped_ = false;
+  return Status::Ok();
+}
+
+StatusOr<MmapFile> MmapFile::Open(const std::string& path) {
+  MmapFile file;
+#if DQUAG_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat " + path);
+  }
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ == 0) {
+    ::close(fd);
+    file.mapped_ = false;
+    return file;
+  }
+  void* map = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED) {
+    file.size_ = 0;
+    DQUAG_RETURN_IF_ERROR(file.ReadWholeFile(path));
+    return file;
+  }
+  file.data_ = static_cast<const uint8_t*>(map);
+  file.mapped_ = true;
+  return file;
+#else
+  DQUAG_RETURN_IF_ERROR(file.ReadWholeFile(path));
+  return file;
+#endif
+}
+
+}  // namespace dquag

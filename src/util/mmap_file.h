@@ -1,0 +1,59 @@
+// Read-only memory-mapped file with a portable fallback.
+//
+// MmapFile::Open maps the whole file read-only (POSIX mmap). On platforms
+// without mmap — or when the map fails — it falls back to reading the file
+// into an owned buffer, so callers always get a stable [data, data+size)
+// byte range for the lifetime of the object. The mapping is private and
+// read-only: the kernel pages bytes in on first touch, which is what makes
+// the columnar reader's "only touched blocks cost IO" contract real.
+//
+// Lifetime rule: every pointer handed out by a reader built on MmapFile
+// (zero-copy column views) is a pointer INTO this mapping and dies with it.
+// Hold the MmapFile (or the reader that owns it) as long as any view is
+// live. Instances are movable, not copyable.
+
+#ifndef DQUAG_UTIL_MMAP_FILE_H_
+#define DQUAG_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dquag {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile() { Reset(); }
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  /// Maps `path` read-only. An empty file maps successfully with size() 0.
+  static StatusOr<MmapFile> Open(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// True when the bytes come from a real mmap (false: owned fallback
+  /// buffer). Exposed so benches can report which path they measured.
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  void Reset();
+  Status ReadWholeFile(const std::string& path);
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<uint8_t> fallback_;  // owns the bytes when !mapped_
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_UTIL_MMAP_FILE_H_

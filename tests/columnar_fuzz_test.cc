@@ -1,0 +1,390 @@
+// Hostile-input fuzzing for every byte-level decoder the library exposes:
+// the .dqc columnar reader, the incremental CSV tokenizer, and the schema /
+// relationship JSON loaders. The contract under test is uniform — arbitrary
+// bytes may NEVER abort, throw, overread, or allocate unbounded memory;
+// corruption surfaces as an error Status. Runs under the same ASan CI job
+// as the wire-codec fuzz in serve_test.cc and mirrors its seeded-garbage
+// idiom (Rng(1234), 500 cases).
+//
+// Structured attacks go beyond random garbage: truncation at every prefix
+// length, single-byte corruption at every offset, splices of two valid
+// files, and hand-built footers with hostile counts/offsets that must be
+// rejected BEFORE any allocation they imply.
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/columnar_format.h"
+#include "data/columnar_reader.h"
+#include "data/columnar_writer.h"
+#include "data/generators.h"
+#include "data/schema_json.h"
+#include "data/table_chunk_reader.h"
+#include "graph/relationship_json.h"
+#include "util/binary_io.h"
+#include "util/checksum.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace dquag {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+void WriteBytesFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Feeds `bytes` to the columnar reader as a file. If Open accepts it,
+/// drains every chunk and touches every (block, column) view — all decode
+/// paths must either succeed or fail with Status; never crash.
+void OpenAndDrain(const std::string& bytes, const std::string& path) {
+  WriteBytesFile(path, bytes);
+  auto reader = ColumnarReader::Open(path, {.chunk_rows = 13});
+  if (!reader.ok()) return;  // clean rejection is the expected outcome
+  ColumnarReader& r = **reader;
+  Table chunk;
+  for (;;) {
+    auto got = r.Next(chunk);
+    if (!got.ok() || *got == 0) break;
+  }
+  for (int64_t b = 0; b < r.num_blocks(); ++b) {
+    for (int64_t c = 0; c < r.schema().num_columns(); ++c) {
+      if (r.schema().column(c).type == ColumnType::kNumeric) {
+        (void)r.NumericBlock(b, c);
+      } else {
+        (void)r.CategoricalBlock(b, c);
+      }
+    }
+  }
+}
+
+/// A small but representative valid .dqc: mixed column types, missing
+/// cells, several blocks, a ragged tail block.
+std::string ValidDqcBytes(uint64_t seed, int64_t rows, int64_t block_rows,
+                          const std::string& path) {
+  Rng rng(seed);
+  Table clean = datasets::GenerateGooglePlayClean(rows, rng);
+  Rng dirt_rng(seed + 1);
+  const Table dirty = datasets::CorruptGooglePlay(clean, dirt_rng);
+  ColumnarWriterOptions options;
+  options.block_rows = block_rows;
+  EXPECT_TRUE(WriteColumnarFile(dirty, path, options).ok());
+  return ReadFileBytes(path);
+}
+
+// ---- Columnar reader: structured attacks -----------------------------------
+
+TEST(ColumnarFuzzTest, TruncateAtEveryPrefixFailsCleanly) {
+  const std::string work = TempPath("trunc_work.dqc");
+  const std::string valid = ValidDqcBytes(51, 30, 8, TempPath("trunc.dqc"));
+  ASSERT_GT(valid.size(), 100u);
+  for (size_t len = 0; len < valid.size(); ++len) {
+    WriteBytesFile(work, valid.substr(0, len));
+    auto reader = ColumnarReader::Open(work);
+    // The footer checksum lives in the tail; no strict prefix carries a
+    // valid tail, so every truncation must be rejected at Open.
+    EXPECT_FALSE(reader.ok()) << "prefix of " << len << " bytes accepted";
+  }
+}
+
+TEST(ColumnarFuzzTest, SingleByteCorruptionAtEveryOffsetNeverCrashes) {
+  const std::string work = TempPath("flip_work.dqc");
+  const std::string valid = ValidDqcBytes(52, 30, 8, TempPath("flip.dqc"));
+  for (size_t pos = 0; pos < valid.size(); ++pos) {
+    std::string mutated = valid;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0xff);
+    OpenAndDrain(mutated, work);
+  }
+}
+
+TEST(ColumnarFuzzTest, PayloadCorruptionIsDetectedByChecksum) {
+  const std::string path = TempPath("detect.dqc");
+  std::string bytes = ValidDqcBytes(53, 30, 8, path);
+  // Offset 16 sits inside the first block's first payload (the data region
+  // starts at the 8-byte header, payloads are 8-byte aligned).
+  bytes[16] = static_cast<char>(bytes[16] ^ 0x01);
+  WriteBytesFile(path, bytes);
+  auto reader = ColumnarReader::Open(path);
+  // The footer is intact, so Open succeeds — but the first touch of the
+  // corrupted payload must fail its checksum.
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  Table chunk;
+  auto got = (*reader)->Next(chunk);
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().ToString().find("checksum"), std::string::npos);
+}
+
+TEST(ColumnarFuzzTest, SplicesOfValidFilesNeverCrash) {
+  const std::string work = TempPath("splice_work.dqc");
+  const std::string a = ValidDqcBytes(54, 30, 8, TempPath("splice_a.dqc"));
+  const std::string b = ValidDqcBytes(55, 24, 5, TempPath("splice_b.dqc"));
+  Rng rng(1234);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const size_t cut_a = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(a.size())));
+    const size_t cut_b = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(b.size())));
+    // Head of one file, tail of the other: headers, payloads, and footers
+    // all disagree about offsets and checksums.
+    OpenAndDrain(a.substr(0, cut_a) + b.substr(cut_b), work);
+    OpenAndDrain(b.substr(0, cut_b) + a.substr(cut_a), work);
+  }
+}
+
+TEST(ColumnarFuzzTest, GarbageFuzzNeverCrashes) {
+  const std::string work = TempPath("garbage_work.dqc");
+  Rng rng(1234);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    const int64_t size = rng.UniformInt(0, 300);
+    std::string garbage(static_cast<size_t>(size), '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    OpenAndDrain(garbage, work);
+  }
+}
+
+/// Wraps `footer` in a structurally valid file: header, the footer bytes,
+/// and a tail whose offset/size/checksum are all correct — so Open's outer
+/// checks pass and ParseFooter faces the hostile content directly.
+std::string FileWithFooter(const std::string& footer) {
+  std::string file;
+  const uint32_t header[2] = {columnar::kMagic, columnar::kVersion};
+  file.append(reinterpret_cast<const char*>(header), 8);
+  const uint64_t footer_offset = file.size();
+  file += footer;
+  const uint64_t tail[4] = {footer_offset, footer.size(),
+                            Fnv1a64(footer.data(), footer.size()),
+                            columnar::kTailMagic};
+  file.append(reinterpret_cast<const char*>(tail), 32);
+  return file;
+}
+
+std::string TinySchemaJson() {
+  return SchemaToJson(Schema({{"x", ColumnType::kNumeric, ""},
+                              {"label", ColumnType::kCategorical, ""}}));
+}
+
+TEST(ColumnarFuzzTest, HostileFooterCountsAreRejectedBeforeAllocation) {
+  const std::string work = TempPath("hostile_footer.dqc");
+
+  // A dictionary claiming 2^60 entries: rejected against the remaining
+  // footer bytes, never reserved.
+  {
+    BinaryWriter f;
+    f.WriteString(TinySchemaJson());
+    f.WriteU64(10);  // num_rows
+    f.WriteU64(4);   // block_rows
+    f.WriteU64(3);   // num_blocks
+    f.WriteU64(columnar::kTypeNumeric);
+    f.WriteU64(columnar::kTypeCategorical);
+    f.WriteU64(uint64_t{1} << 60);  // dict_size
+    WriteBytesFile(work, FileWithFooter(f.buffer()));
+    auto reader = ColumnarReader::Open(work);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_NE(reader.status().ToString().find("dictionary"),
+              std::string::npos);
+  }
+
+  // 2^40 blocks, arithmetically consistent with num_rows: rejected against
+  // the footer's actual size before blocks_ is reserved.
+  {
+    BinaryWriter f;
+    f.WriteString(TinySchemaJson());
+    f.WriteU64(uint64_t{1} << 40);  // num_rows
+    f.WriteU64(1);                  // block_rows
+    f.WriteU64(uint64_t{1} << 40);  // num_blocks
+    f.WriteU64(columnar::kTypeNumeric);
+    f.WriteU64(columnar::kTypeCategorical);
+    f.WriteU64(0);  // empty dictionary
+    WriteBytesFile(work, FileWithFooter(f.buffer()));
+    EXPECT_FALSE(ColumnarReader::Open(work).ok());
+  }
+
+  // A payload whose offset points past the data region.
+  {
+    BinaryWriter f;
+    f.WriteString(TinySchemaJson());
+    f.WriteU64(2);  // num_rows
+    f.WriteU64(4);  // block_rows
+    f.WriteU64(1);  // num_blocks
+    f.WriteU64(columnar::kTypeNumeric);
+    f.WriteU64(columnar::kTypeCategorical);
+    f.WriteU64(0);  // empty dictionary
+    f.WriteU64(2);  // block rows
+    for (int c = 0; c < 2; ++c) {
+      f.WriteU64(uint64_t{1} << 50);  // offset far out of bounds
+      f.WriteU64(c == 0 ? columnar::NumericPayloadBytes(2)
+                        : columnar::CategoricalPayloadBytes(2));
+      f.WriteU64(0);  // checksum (never reached)
+    }
+    WriteBytesFile(work, FileWithFooter(f.buffer()));
+    auto reader = ColumnarReader::Open(work);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_NE(reader.status().ToString().find("out of bounds"),
+              std::string::npos);
+  }
+
+  // Deeply nested schema JSON: the parser's depth limit must kick in long
+  // before the recursion can exhaust the stack.
+  {
+    std::string deep(20000, '[');
+    BinaryWriter f;
+    f.WriteString(deep);
+    WriteBytesFile(work, FileWithFooter(f.buffer()));
+    EXPECT_FALSE(ColumnarReader::Open(work).ok());
+  }
+}
+
+// ---- CSV stream parser -----------------------------------------------------
+
+TEST(CsvFuzzTest, StreamParserGarbageNeverCrashes) {
+  Rng rng(1234);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    const int64_t size = rng.UniformInt(0, 300);
+    std::string garbage(static_cast<size_t>(size), '\0');
+    for (char& c : garbage) {
+      // Bias toward CSV metacharacters so quote/newline state machines get
+      // exercised, not just rejected printable noise.
+      const int64_t pick = rng.UniformInt(0, 9);
+      if (pick < 4) {
+        c = "\",\n\r"[static_cast<size_t>(rng.UniformInt(0, 3))];
+      } else {
+        c = static_cast<char>(rng.UniformInt(0, 255));
+      }
+    }
+    CsvStreamParser parser;
+    std::vector<std::vector<std::string>> records;
+    // Feed in random-sized blocks: quoted fields must survive arbitrary
+    // split points.
+    size_t cursor = 0;
+    bool failed = false;
+    while (cursor < garbage.size()) {
+      const size_t take = static_cast<size_t>(rng.UniformInt(
+          1, static_cast<int64_t>(garbage.size() - cursor)));
+      if (!parser.Consume(garbage.data() + cursor, take, &records).ok()) {
+        failed = true;
+        break;
+      }
+      cursor += take;
+    }
+    if (!failed) (void)parser.Finish(&records);
+  }
+}
+
+TEST(CsvFuzzTest, ChunkReaderOverGarbageFilesNeverCrashes) {
+  const std::string work = TempPath("garbage.csv");
+  const Schema schema({{"x", ColumnType::kNumeric, ""},
+                       {"label", ColumnType::kCategorical, ""}});
+  Rng rng(4321);
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    const int64_t size = rng.UniformInt(0, 400);
+    std::string garbage(static_cast<size_t>(size), '\0');
+    for (char& c : garbage) {
+      const int64_t pick = rng.UniformInt(0, 9);
+      if (pick < 4) {
+        c = "\",\nx"[static_cast<size_t>(rng.UniformInt(0, 3))];
+      } else {
+        c = static_cast<char>(rng.UniformInt(32, 126));
+      }
+    }
+    WriteBytesFile(work, "x,label\n" + garbage);
+    auto reader = CsvChunkReader::Open(work, schema, {.chunk_rows = 7});
+    if (!reader.ok()) continue;
+    Table chunk;
+    for (;;) {
+      auto got = (*reader)->Next(chunk);
+      if (!got.ok() || *got == 0) break;
+    }
+  }
+}
+
+// ---- Schema / relationship JSON --------------------------------------------
+
+TEST(JsonFuzzTest, SchemaFromGarbageNeverCrashes) {
+  Rng rng(1234);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    const int64_t size = rng.UniformInt(0, 300);
+    std::string garbage(static_cast<size_t>(size), '\0');
+    for (char& c : garbage) {
+      const int64_t pick = rng.UniformInt(0, 9);
+      if (pick < 4) {
+        c = "{}[]\":,"[static_cast<size_t>(rng.UniformInt(0, 6))];
+      } else {
+        c = static_cast<char>(rng.UniformInt(0, 255));
+      }
+    }
+    (void)SchemaFromJson(garbage);
+    (void)RelationshipsFromJson(garbage);
+  }
+}
+
+TEST(JsonFuzzTest, SchemaTypeConfusionFailsWithStatus) {
+  // Every hostile shape must produce an error Status — never a CHECK abort
+  // from a mistyped accessor.
+  const std::vector<std::string> hostile = {
+      R"({"columns": [{"name": 5, "type": "numeric"}]})",
+      R"({"columns": [{"name": "x", "type": true}]})",
+      R"({"columns": [{"name": "x", "type": ["numeric"]}]})",
+      R"({"columns": [{"name": "", "type": "numeric"}]})",
+      R"({"columns": [{"name": "x", "type": "numeric"},
+                      {"name": "x", "type": "numeric"}]})",
+      R"({"columns": [{"name": "x", "type": "quaternion"}]})",
+      R"({"columns": [{"name": "x", "type": "numeric",
+                       "description": 7}]})",
+      R"({"columns": [null]})",
+      R"({"columns": {}})",
+      R"({"columns": []})",
+      R"({"columns": 3})",
+      R"([1, 2, 3])",
+      R"("just a string")",
+  };
+  for (const std::string& json : hostile) {
+    auto schema = SchemaFromJson(json);
+    EXPECT_FALSE(schema.ok()) << json;
+  }
+  std::string deep(20000, '[');
+  EXPECT_FALSE(SchemaFromJson(deep).ok());
+  EXPECT_FALSE(SchemaFromJson(std::string(20000, '{')).ok());
+}
+
+TEST(JsonFuzzTest, RelationshipTypeConfusionFailsWithStatus) {
+  const std::vector<std::string> hostile = {
+      R"({"relationships": [{"feature1": 1, "feature2": "b"}]})",
+      R"({"relationships": [{"feature1": "a", "feature2": null}]})",
+      R"({"relationships": [{"feature1": "a", "feature2": "b",
+                             "score": "high"}]})",
+      R"({"relationships": [{"feature1": "a", "feature2": "b",
+                             "kind": 3}]})",
+      R"({"relationships": [{"feature1": "a"}]})",
+      R"({"relationships": [42]})",
+      R"({"relationships": {}})",
+      R"({"wrong_key": []})",
+  };
+  for (const std::string& json : hostile) {
+    auto relationships = RelationshipsFromJson(json);
+    EXPECT_FALSE(relationships.ok()) << json;
+  }
+  EXPECT_FALSE(RelationshipsFromJson(std::string(20000, '[')).ok());
+}
+
+}  // namespace
+}  // namespace dquag

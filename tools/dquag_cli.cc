@@ -3,8 +3,11 @@
 // Subcommands:
 //   dquag train     --clean data.csv --schema schema.json --out model.ckpt
 //                   [--epochs N] [--encoder gat+gin] [--relationships r.json]
+//   dquag convert   <data.csv> <data.dqc> --schema schema.json
+//                   [--block-rows N]      (CSV -> columnar .dqc, out-of-core)
 //   dquag validate  --model model.ckpt --data new.csv [--verbose]
 //                   [--micro-batch M] [--stream] [--chunk-rows N]
+//                   [--format csv|columnar]
 //   dquag repair    --model model.ckpt --data new.csv --out repaired.csv
 //   dquag explain   --model model.ckpt --data new.csv --row K
 //   dquag serve-sim --model model.ckpt --data new.csv [--threads T]
@@ -21,9 +24,11 @@
 //
 // validate and serve-sim run through the ValidationService: micro-batched
 // tape-free inference fanned across the process thread pool. With --stream
-// the CSV is never materialized: chunks of --chunk-rows rows are read,
+// the input is never materialized: chunks of --chunk-rows rows are read,
 // validated and retired with bounded memory, and the verdict is
-// bit-identical to the whole-table run.
+// bit-identical to the whole-table run. Data files may be CSV or the
+// columnar .dqc format produced by `dquag convert` — `--format` forces a
+// reader, otherwise the .dqc suffix selects columnar.
 //
 // serve starts the real daemon (serve/server.h): a multi-tenant model
 // registry (LRU-bounded residency, lazy checkpoint loads, atomic hot-swap
@@ -46,6 +51,8 @@
 #include "core/explainer.h"
 #include "core/pipeline.h"
 #include "core/validation_service.h"
+#include "data/columnar_reader.h"
+#include "data/columnar_writer.h"
 #include "data/schema_json.h"
 #include "data/table_chunk_reader.h"
 #include "graph/relationship_json.h"
@@ -71,9 +78,13 @@ class Args {
         } else {
           values_[key] = "1";  // boolean flag
         }
+      } else {
+        positional_.push_back(std::move(token));
       }
     }
   }
+
+  const std::vector<std::string>& positional() const { return positional_; }
 
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
   std::string Get(const std::string& key,
@@ -89,6 +100,7 @@ class Args {
 
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
 };
 
 int Fail(const Status& status) {
@@ -96,13 +108,96 @@ int Fail(const Status& status) {
   return 1;
 }
 
-StatusOr<Table> LoadTable(const std::string& schema_path,
+/// Data-file format selection: an explicit --format wins, otherwise the
+/// .dqc suffix selects columnar and anything else is CSV.
+StatusOr<bool> UseColumnar(const Args& args, const std::string& path) {
+  if (args.Has("format")) {
+    const std::string format = args.Get("format");
+    if (format == "columnar") return true;
+    if (format == "csv") return false;
+    return Status::InvalidArgument("--format must be csv or columnar, got '" +
+                                   format + "'");
+  }
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".dqc") == 0;
+}
+
+/// Materializes a data file of either format, checking it against the
+/// expected schema.
+StatusOr<Table> LoadDataTable(const Args& args, const std::string& path,
+                              const Schema& schema) {
+  DQUAG_ASSIGN_OR_RETURN(const bool columnar, UseColumnar(args, path));
+  if (columnar) {
+    DQUAG_ASSIGN_OR_RETURN(Table table, ReadColumnarTable(path));
+    if (!(table.schema() == schema)) {
+      return Status::InvalidArgument(
+          "columnar file schema does not match the expected schema");
+    }
+    return table;
+  }
+  DQUAG_ASSIGN_OR_RETURN(CsvDocument csv, ReadCsvFile(path));
+  return Table::FromCsv(schema, csv);
+}
+
+/// Opens a streaming chunk reader of either format.
+StatusOr<std::unique_ptr<TableChunkReader>> OpenDataChunkReader(
+    const Args& args, const std::string& path, const Schema& schema,
+    int64_t chunk_rows) {
+  DQUAG_ASSIGN_OR_RETURN(const bool columnar, UseColumnar(args, path));
+  if (columnar) {
+    ColumnarReaderOptions options;
+    options.chunk_rows = chunk_rows;
+    DQUAG_ASSIGN_OR_RETURN(std::unique_ptr<ColumnarReader> reader,
+                           ColumnarReader::Open(path, options));
+    if (!(reader->schema() == schema)) {
+      return Status::InvalidArgument(
+          "columnar file schema does not match the expected schema");
+    }
+    return std::unique_ptr<TableChunkReader>(std::move(reader));
+  }
+  CsvChunkReaderOptions options;
+  options.chunk_rows = chunk_rows;
+  DQUAG_ASSIGN_OR_RETURN(std::unique_ptr<CsvChunkReader> reader,
+                         CsvChunkReader::Open(path, schema, options));
+  return std::unique_ptr<TableChunkReader>(std::move(reader));
+}
+
+StatusOr<Table> LoadTable(const Args& args, const std::string& schema_path,
                           const std::string& data_path) {
   auto schema = LoadSchema(schema_path);
   if (!schema.ok()) return schema.status();
-  auto csv = ReadCsvFile(data_path);
-  if (!csv.ok()) return csv.status();
-  return Table::FromCsv(*schema, *csv);
+  return LoadDataTable(args, data_path, *schema);
+}
+
+int CmdConvert(const Args& args) {
+  std::string csv_path = args.Get("data");
+  std::string dqc_path = args.Get("out");
+  // Positional form: dquag convert data.csv data.dqc --schema schema.json
+  if (csv_path.empty() && args.positional().size() >= 1) {
+    csv_path = args.positional()[0];
+  }
+  if (dqc_path.empty() && args.positional().size() >= 2) {
+    dqc_path = args.positional()[1];
+  }
+  const std::string schema_path = args.Get("schema");
+  if (csv_path.empty() || dqc_path.empty() || schema_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: dquag convert <data.csv> <data.dqc> "
+                 "--schema schema.json [--block-rows N]\n");
+    return 1;
+  }
+  auto schema = LoadSchema(schema_path);
+  if (!schema.ok()) return Fail(schema.status());
+  ColumnarWriterOptions options;
+  options.block_rows = args.GetInt("block-rows", 4096);
+  if (options.block_rows <= 0) {
+    return Fail(Status::InvalidArgument("--block-rows must be > 0"));
+  }
+  auto rows = ConvertCsvToColumnar(csv_path, *schema, dqc_path, options);
+  if (!rows.ok()) return Fail(rows.status());
+  std::printf("converted %lld rows: %s -> %s (block %lld)\n",
+              static_cast<long long>(*rows), csv_path.c_str(),
+              dqc_path.c_str(), static_cast<long long>(options.block_rows));
+  return 0;
 }
 
 int CmdTrain(const Args& args) {
@@ -115,7 +210,7 @@ int CmdTrain(const Args& args) {
                  "--out model.ckpt [--epochs N] [--encoder gat+gin]\n");
     return 1;
   }
-  auto table = LoadTable(schema_path, clean_path);
+  auto table = LoadTable(args, schema_path, clean_path);
   if (!table.ok()) return Fail(table.status());
 
   DquagPipelineOptions options;
@@ -152,9 +247,8 @@ StatusOr<DquagPipeline> LoadModelAndData(const Args& args, Table* table) {
   }
   auto pipeline = DquagPipeline::Load(model_path);
   if (!pipeline.ok()) return pipeline.status();
-  auto csv = ReadCsvFile(data_path);
-  if (!csv.ok()) return csv.status();
-  auto loaded = Table::FromCsv(pipeline->preprocessor().schema(), *csv);
+  auto loaded =
+      LoadDataTable(args, data_path, pipeline->preprocessor().schema());
   if (!loaded.ok()) return loaded.status();
   *table = std::move(*loaded);
   return pipeline;
@@ -175,10 +269,8 @@ StatusOr<std::unique_ptr<ValidationService>> LoadServiceAndData(
     const Args& args, Table* table) {
   auto service = LoadService(args);
   if (!service.ok()) return service.status();
-  auto csv = ReadCsvFile(args.Get("data"));
-  if (!csv.ok()) return csv.status();
-  auto loaded =
-      Table::FromCsv((*service)->pipeline().preprocessor().schema(), *csv);
+  auto loaded = LoadDataTable(args, args.Get("data"),
+                              (*service)->pipeline().preprocessor().schema());
   if (!loaded.ok()) return loaded.status();
   *table = std::move(*loaded);
   return service;
@@ -198,14 +290,13 @@ void PrintFlaggedRow(const Schema& schema, size_t row,
 int CmdValidateStream(const Args& args) {
   auto service = LoadService(args);
   if (!service.ok()) return Fail(service.status());
-  CsvChunkReaderOptions reader_options;
-  reader_options.chunk_rows = args.GetInt("chunk-rows", 4096);
-  if (reader_options.chunk_rows <= 0) {
+  const int64_t chunk_rows = args.GetInt("chunk-rows", 4096);
+  if (chunk_rows <= 0) {
     return Fail(Status::InvalidArgument("--chunk-rows must be > 0"));
   }
   const Schema& schema = (*service)->pipeline().preprocessor().schema();
-  auto reader = CsvChunkReader::Open(args.Get("data"), schema,
-                                     reader_options);
+  auto reader =
+      OpenDataChunkReader(args, args.Get("data"), schema, chunk_rows);
   if (!reader.ok()) return Fail(reader.status());
   auto verdict = (*service)->ValidateStream(**reader);
   if (!verdict.ok()) return Fail(verdict.status());
@@ -259,6 +350,19 @@ int CmdServeSim(const Args& args) {
   if (stream && chunk_rows <= 0) {
     return Fail(Status::InvalidArgument("--chunk-rows must be > 0"));
   }
+  const std::string data_path = args.Get("data");
+  bool columnar_stream = false;
+  if (stream) {
+    auto columnar = UseColumnar(args, data_path);
+    if (!columnar.ok()) return Fail(columnar.status());
+    columnar_stream = *columnar;
+    if (columnar_stream) {
+      // Fail cleanly up front; the per-round opens inside the client
+      // threads then only re-read an already-validated file.
+      auto probe = ColumnarReader::Open(data_path);
+      if (!probe.ok()) return Fail(probe.status());
+    }
+  }
   if (stream) {
     std::printf("serving %lld rows to %lld concurrent STREAMING clients, "
                 "%lld rounds each (chunk %lld)\n",
@@ -287,10 +391,25 @@ int CmdServeSim(const Args& args) {
         Stopwatch request_timer;
         if (stream) {
           // Each round streams the batch through its own cursor; readers
-          // are cheap, the chunk buffers live inside ObserveStream.
-          TableViewChunkReader reader(&table, chunk_rows);
-          auto obs = service.ObserveStream(reader);
-          DQUAG_CHECK(obs.ok());  // view readers cannot fail mid-stream
+          // are cheap, the chunk buffers live inside ObserveStream. With a
+          // columnar file every round exercises the real mmap read path.
+          std::unique_ptr<ColumnarReader> file_reader;
+          std::unique_ptr<TableViewChunkReader> view_reader;
+          TableChunkReader* reader = nullptr;
+          if (columnar_stream) {
+            ColumnarReaderOptions reader_options;
+            reader_options.chunk_rows = chunk_rows;
+            auto opened = ColumnarReader::Open(data_path, reader_options);
+            DQUAG_CHECK(opened.ok());  // validated before the threads began
+            file_reader = std::move(*opened);
+            reader = file_reader.get();
+          } else {
+            view_reader =
+                std::make_unique<TableViewChunkReader>(&table, chunk_rows);
+            reader = view_reader.get();
+          }
+          auto obs = service.ObserveStream(*reader);
+          DQUAG_CHECK(obs.ok());  // readers over validated inputs
           counters.RecordRequest(
               table.num_rows(),
               static_cast<int64_t>(obs->flagged_fraction *
@@ -512,7 +631,7 @@ int CmdSchemaTemplate(const Args& args) {
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: dquag <train|validate|repair|explain|serve|"
+                 "usage: dquag <train|convert|validate|repair|explain|serve|"
                  "serve-sim|deploy|stats|shutdown|schema-template> "
                  "[flags]\n");
     return 1;
@@ -521,6 +640,7 @@ int Run(int argc, char** argv) {
   const std::string command = argv[1];
   Args args(argc, argv);
   if (command == "train") return CmdTrain(args);
+  if (command == "convert") return CmdConvert(args);
   if (command == "validate") return CmdValidate(args);
   if (command == "repair") return CmdRepair(args);
   if (command == "explain") return CmdExplain(args);
