@@ -1,17 +1,28 @@
-// Tape vs engine inference throughput on the Figure-4 data shapes.
+// Tape vs engine vs SIMD-dispatched vs int8-quantized inference throughput.
 //
-// Phase 2 is the deployed hot path; this bench quantifies what the
-// tape-free engine buys over running the same model through the autograd
-// ops under NoGradGuard (per-op tensor allocation + zero-fill + shared_ptr
-// tape nodes). Part 1 compares single-client reconstruction throughput
-// across batch sizes; part 2 drives a ValidationService with increasing
-// numbers of concurrent client threads (micro-batched fan-out across the
-// process pool).
+// Phase 2 is the deployed hot path; this bench quantifies each rung of the
+// ladder on the Figure-4 data shape (NY Taxi, 18 columns):
+//   part 1 — tape (NoGrad autograd ops) vs the tape-free engine;
+//   part 2 — the engine under the forced-scalar kernel table (the portable
+//             baseline, and a stand-in for the pre-dispatch float path) vs
+//             the runtime-dispatched table vs the int8 quantized path, all
+//             single-thread at the validator chunk size; also verifies the
+//             scalar and dispatched tables produce BYTE-IDENTICAL verdicts
+//             and reports the quantized verdict flip fraction;
+//   part 3 — ValidationService scaling across concurrent client threads.
 //
+// --json[=path] writes a BENCH_inference.json machine-readable summary
+// (default path: BENCH_inference.json). Exits non-zero if the speedup gate
+// fails (quantized vs forced-scalar float, DQUAG_MIN_SPEEDUP, default 2.0),
+// if scalar/dispatched verdicts diverge, or if the quantized flip fraction
+// exceeds 0.5% — CI runs this as a regression gate.
 // DQUAG_BENCH_FAST=1 shrinks the workload for smoke runs.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,18 +30,35 @@
 #include "core/validation_service.h"
 #include "data/generators.h"
 #include "engine/inference_context.h"
+#include "tensor/simd.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace dquag {
 namespace {
 
-void RunAll() {
+/// Identical per-instance verdicts, bit for bit (errors compared as raw
+/// IEEE doubles).
+bool VerdictsBitIdentical(const std::vector<InstanceVerdict>& a,
+                          const std::vector<InstanceVerdict>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i].error, &b[i].error, sizeof(double)) != 0 ||
+        a[i].flagged != b[i].flagged ||
+        a[i].suspect_features != b[i].suspect_features) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunAll(const char* json_path) {
   const bool fast = bench::FastMode();
   const int64_t train_rows = bench::EnvInt("DQUAG_ROWS", fast ? 1000 : 3000);
   const int64_t epochs = bench::EnvInt("DQUAG_EPOCHS", fast ? 3 : 10);
   const int64_t eval_rows =
       bench::EnvInt("DQUAG_ENGINE_EVAL_ROWS", fast ? 20000 : 100000);
+  const double min_speedup = bench::EnvDouble("DQUAG_MIN_SPEEDUP", 2.0);
 
   // Train on the Figure-4 shape: NY Taxi, 18 columns.
   Rng rng(41);
@@ -53,6 +81,7 @@ void RunAll() {
               static_cast<long long>(model.encoder().config().hidden_dim));
   std::printf("%10s  %14s  %14s  %8s\n", "batch", "tape rows/s",
               "engine rows/s", "speedup");
+  double tape_2048 = 0.0, engine_2048 = 0.0;
   // 512 is the service micro-batch default, 2048 the validator chunk
   // default, 8192 a large request.
   for (const int64_t batch : {512LL, 2048LL, 8192LL}) {
@@ -86,9 +115,132 @@ void RunAll() {
     });
     const double engine_s = engine_timer.ElapsedSeconds();
 
+    if (batch == 2048) {
+      tape_2048 = eval_rows / tape_s;
+      engine_2048 = eval_rows / engine_s;
+    }
     std::printf("%10lld  %14.0f  %14.0f  %7.2fx\n",
                 static_cast<long long>(batch), eval_rows / tape_s,
                 eval_rows / engine_s, tape_s / engine_s);
+  }
+
+  std::printf("\n=== SIMD dispatch + int8 quantization (single thread, "
+              "batch 2048) ===\n");
+  std::printf("(active kernel table: %s)\n", simd::ActiveKernels().name);
+
+  // Engine throughput under a given kernel table / quantization mode. Best
+  // of `reps` passes over the eval set — single-thread, validator chunk
+  // size.
+  auto time_engine = [&](bool quantized) {
+    InferenceContext& ctx = InferenceContext::ThreadLocal();
+    ctx.set_quantized(quantized);
+    const int reps = fast ? 2 : 3;
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      Stopwatch timer;
+      for (int64_t start = 0; start < eval_rows; start += 2048) {
+        const int64_t end = std::min(eval_rows, start + 2048);
+        ctx.Rewind();
+        Tensor& slice = ctx.Acquire({end - start, d});
+        std::copy(matrix.data() + start * d, matrix.data() + end * d,
+                  slice.data());
+        const Tensor& out = model.InferValidation(slice, ctx);
+        (void)out;
+      }
+      const double rows_per_sec = eval_rows / timer.ElapsedSeconds();
+      best = std::max(best, rows_per_sec);
+    }
+    ctx.set_quantized(false);
+    return best;
+  };
+
+  simd::SetKernelTableOverride(&simd::ScalarKernels());
+  const double scalar_float = time_engine(false);
+  simd::SetKernelTableOverride(nullptr);
+  const double dispatched_float = time_engine(false);
+  const double quantized_rows = time_engine(true);
+
+  const double dispatch_speedup = dispatched_float / scalar_float;
+  const double quant_speedup = quantized_rows / scalar_float;
+  std::printf("%22s  %14s  %22s\n", "path", "rows/s", "vs scalar float");
+  std::printf("%22s  %14.0f  %21.2fx\n", "scalar float", scalar_float, 1.0);
+  std::printf("%22s  %14.0f  %21.2fx\n", "dispatched float",
+              dispatched_float, dispatch_speedup);
+  std::printf("%22s  %14.0f  %21.2fx\n", "dispatched quantized",
+              quantized_rows, quant_speedup);
+
+  // Verdict gates. Scalar vs dispatched float must be byte-identical; the
+  // quantized path may flip at most 0.5% of verdicts (margin-band rows are
+  // re-checked on the float path; see ValidationMode).
+  const Validator& validator = pipeline->validator();
+  const int64_t gate_rows = std::min<int64_t>(eval_rows, 20000);
+  InferenceContext& ctx = InferenceContext::ThreadLocal();
+  std::vector<InstanceVerdict> v_scalar(gate_rows), v_dispatched(gate_rows),
+      v_quantized(gate_rows);
+  simd::SetKernelTableOverride(&simd::ScalarKernels());
+  validator.ValidateRowsInto(matrix, 0, gate_rows, ctx, v_scalar.data());
+  simd::SetKernelTableOverride(nullptr);
+  validator.ValidateRowsInto(matrix, 0, gate_rows, ctx, v_dispatched.data());
+  validator.ValidateRowsInto(matrix, 0, gate_rows, ctx, v_quantized.data(),
+                             ValidationMode{/*quantized=*/true,
+                                            /*recheck_margin=*/0.25});
+  const bool bit_identical = VerdictsBitIdentical(v_scalar, v_dispatched);
+  int64_t flips = 0;
+  for (int64_t r = 0; r < gate_rows; ++r) {
+    if (v_dispatched[static_cast<size_t>(r)].flagged !=
+        v_quantized[static_cast<size_t>(r)].flagged) {
+      ++flips;
+    }
+  }
+  const double flip_fraction =
+      static_cast<double>(flips) / static_cast<double>(gate_rows);
+  std::printf("scalar vs dispatched verdicts: %s (%lld rows)\n",
+              bit_identical ? "byte-identical" : "DIVERGED",
+              static_cast<long long>(gate_rows));
+  std::printf("quantized verdict flips: %lld/%lld (%.4f%%)\n",
+              static_cast<long long>(flips),
+              static_cast<long long>(gate_rows), 100.0 * flip_fraction);
+
+  bool failed = false;
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "FAIL: scalar and dispatched float verdicts diverged\n");
+    failed = true;
+  }
+  if (flip_fraction > 0.005) {
+    std::fprintf(stderr, "FAIL: quantized flip fraction %.4f%% > 0.5%%\n",
+                 100.0 * flip_fraction);
+    failed = true;
+  }
+  if (quant_speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: quantized speedup %.2fx vs scalar float below the "
+                 "%.2fx gate (DQUAG_MIN_SPEEDUP)\n",
+                 quant_speedup, min_speedup);
+    failed = true;
+  }
+
+  if (json_path != nullptr) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"eval_rows\": " << eval_rows << ",\n"
+        << "  \"kernel_table\": \"" << simd::ActiveKernels().name << "\",\n"
+        << "  \"tape_rows_per_sec_batch2048\": " << tape_2048 << ",\n"
+        << "  \"engine_rows_per_sec_batch2048\": " << engine_2048 << ",\n"
+        << "  \"scalar_float_rows_per_sec\": " << scalar_float << ",\n"
+        << "  \"dispatched_float_rows_per_sec\": " << dispatched_float
+        << ",\n"
+        << "  \"quantized_rows_per_sec\": " << quantized_rows << ",\n"
+        << "  \"dispatched_vs_scalar_speedup\": " << dispatch_speedup
+        << ",\n"
+        << "  \"quantized_vs_scalar_speedup\": " << quant_speedup << ",\n"
+        << "  \"min_speedup_gate\": " << min_speedup << ",\n"
+        << "  \"verdict_bit_identity\": " << (bit_identical ? "true" : "false")
+        << ",\n"
+        << "  \"quantized_flip_fraction\": " << flip_fraction << ",\n"
+        << "  \"gates_passed\": " << (failed ? "false" : "true") << "\n"
+        << "}\n";
+    std::printf("wrote %s\n", json_path);
   }
 
   std::printf("\n=== ValidationService scaling (concurrent clients) ===\n");
@@ -116,13 +268,23 @@ void RunAll() {
                 total_rows / seconds / clients);
   }
   std::printf("(verdicts are identical to serial validation by construction)\n");
+  return failed ? 1 : 0;
 }
 
 }  // namespace
 }  // namespace dquag
 
-int main() {
+int main(int argc, char** argv) {
   dquag::SetLogLevel(dquag::LogLevel::kWarning);
-  dquag::RunAll();
-  return 0;
+  const char* json_path = nullptr;
+  std::string json_storage;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_inference.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_storage = argv[i] + 7;
+      json_path = json_storage.c_str();
+    }
+  }
+  return dquag::RunAll(json_path);
 }

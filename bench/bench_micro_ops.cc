@@ -1,11 +1,17 @@
 // google-benchmark microbenchmarks for the numeric substrate: tensor ops,
-// GNN layer forwards, and end-to-end model inference throughput.
+// GNN layer forwards, end-to-end model inference throughput, and the SIMD
+// kernel table (scalar vs dispatched, with checksum parity).
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
 
 #include "core/model.h"
 #include "gnn/encoder.h"
 #include "nn/feature_tokenizer.h"
+#include "tensor/quantized.h"
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
 
@@ -106,6 +112,295 @@ void BM_ModelInference(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_ModelInference)->Arg(128)->Arg(2048);
+
+// ---- SIMD kernel table: scalar (Arg 0) vs dispatched (Arg 1) --------------
+//
+// Every benchmark first runs both tables on identical inputs and compares
+// output bytes; a mismatch aborts the benchmark via SkipWithError, so these
+// double as a continuous bit-identity check at serving shapes. Shapes mirror
+// Phase-2 inference: 256-row engine blocks x 18 feature nodes = 4608 GEMM
+// rows at hidden width 64.
+
+constexpr int64_t kRows = 4608;
+constexpr int64_t kDim = 64;
+
+const simd::SimdKernelTable& TableFor(const benchmark::State& state) {
+  return state.range(0) == 0 ? simd::ScalarKernels()
+                             : simd::BestSupportedKernels();
+}
+
+/// memcmp-equality of two float buffers, reported through the benchmark.
+bool ParityOk(benchmark::State& state, const float* a, const float* b,
+              int64_t n) {
+  if (std::memcmp(a, b, static_cast<size_t>(n) * sizeof(float)) != 0) {
+    state.SkipWithError("checksum mismatch vs scalar table");
+    return false;
+  }
+  return true;
+}
+
+void BM_SimdMatMul(benchmark::State& state) {
+  const simd::SimdKernelTable& kt = TableFor(state);
+  Rng rng(11);
+  Tensor a = Tensor::Randn({kRows, kDim}, rng);
+  Tensor b = Tensor::Randn({kDim, kDim}, rng);
+  std::vector<float> ref(kRows * kDim, 0.0f), got(kRows * kDim, 0.0f);
+  simd::ScalarKernels().matmul(a.data(), b.data(), ref.data(), kRows, kDim,
+                               kDim);
+  kt.matmul(a.data(), b.data(), got.data(), kRows, kDim, kDim);
+  if (!ParityOk(state, ref.data(), got.data(), kRows * kDim)) return;
+  for (auto _ : state) {
+    kt.matmul(a.data(), b.data(), got.data(), kRows, kDim, kDim);
+    benchmark::DoNotOptimize(got.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.SetLabel(kt.name);
+}
+BENCHMARK(BM_SimdMatMul)->Arg(0)->Arg(1);
+
+void BM_SimdMatMulTransA(benchmark::State& state) {
+  const simd::SimdKernelTable& kt = TableFor(state);
+  Rng rng(12);
+  Tensor a = Tensor::Randn({kRows, kDim}, rng);
+  Tensor g = Tensor::Randn({kRows, kDim}, rng);
+  std::vector<float> ref(kDim * kDim, 0.0f), got(kDim * kDim, 0.0f);
+  simd::ScalarKernels().matmul_trans_a(a.data(), g.data(), ref.data(), kRows,
+                                       kDim, kDim);
+  kt.matmul_trans_a(a.data(), g.data(), got.data(), kRows, kDim, kDim);
+  if (!ParityOk(state, ref.data(), got.data(), kDim * kDim)) return;
+  for (auto _ : state) {
+    kt.matmul_trans_a(a.data(), g.data(), got.data(), kRows, kDim, kDim);
+    benchmark::DoNotOptimize(got.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.SetLabel(kt.name);
+}
+BENCHMARK(BM_SimdMatMulTransA)->Arg(0)->Arg(1);
+
+void BM_SimdMatMulTransB(benchmark::State& state) {
+  const simd::SimdKernelTable& kt = TableFor(state);
+  Rng rng(13);
+  Tensor a = Tensor::Randn({kRows, kDim}, rng);
+  Tensor b = Tensor::Randn({kDim, kDim}, rng);
+  std::vector<float> ref(kRows * kDim, 0.0f), got(kRows * kDim, 0.0f);
+  simd::ScalarKernels().matmul_trans_b(a.data(), b.data(), ref.data(), kRows,
+                                       kDim, kDim);
+  kt.matmul_trans_b(a.data(), b.data(), got.data(), kRows, kDim, kDim);
+  if (!ParityOk(state, ref.data(), got.data(), kRows * kDim)) return;
+  for (auto _ : state) {
+    kt.matmul_trans_b(a.data(), b.data(), got.data(), kRows, kDim, kDim);
+    benchmark::DoNotOptimize(got.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.SetLabel(kt.name);
+}
+BENCHMARK(BM_SimdMatMulTransB)->Arg(0)->Arg(1);
+
+void BM_SimdDualMatVec(benchmark::State& state) {
+  const simd::SimdKernelTable& kt = TableFor(state);
+  Rng rng(14);
+  Tensor x = Tensor::Randn({kRows, kDim}, rng);
+  Tensor w1 = Tensor::Randn({kDim}, rng);
+  Tensor w2 = Tensor::Randn({kDim}, rng);
+  std::vector<float> r1(kRows), r2(kRows), g1(kRows), g2(kRows);
+  simd::ScalarKernels().dual_matvec(x.data(), w1.data(), w2.data(), r1.data(),
+                                    r2.data(), kRows, kDim);
+  kt.dual_matvec(x.data(), w1.data(), w2.data(), g1.data(), g2.data(), kRows,
+                 kDim);
+  if (!ParityOk(state, r1.data(), g1.data(), kRows) ||
+      !ParityOk(state, r2.data(), g2.data(), kRows)) {
+    return;
+  }
+  for (auto _ : state) {
+    kt.dual_matvec(x.data(), w1.data(), w2.data(), g1.data(), g2.data(),
+                   kRows, kDim);
+    benchmark::DoNotOptimize(g1.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.SetLabel(kt.name);
+}
+BENCHMARK(BM_SimdDualMatVec)->Arg(0)->Arg(1);
+
+void BM_SimdReadoutDot(benchmark::State& state) {
+  const simd::SimdKernelTable& kt = TableFor(state);
+  constexpr int64_t d = 18;
+  constexpr int64_t batch = 256;
+  Rng rng(15);
+  Tensor z = Tensor::Randn({batch, d, kDim}, rng);
+  Tensor w = Tensor::Randn({d, kDim}, rng);
+  Tensor bias = Tensor::Randn({d}, rng);
+  std::vector<float> ref(batch * d), got(batch * d);
+  simd::ScalarKernels().readout_dot(z.data(), w.data(), bias.data(),
+                                    ref.data(), batch, d, kDim);
+  kt.readout_dot(z.data(), w.data(), bias.data(), got.data(), batch, d, kDim);
+  if (!ParityOk(state, ref.data(), got.data(), batch * d)) return;
+  for (auto _ : state) {
+    kt.readout_dot(z.data(), w.data(), bias.data(), got.data(), batch, d,
+                   kDim);
+    benchmark::DoNotOptimize(got.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.SetLabel(kt.name);
+}
+BENCHMARK(BM_SimdReadoutDot)->Arg(0)->Arg(1);
+
+void BM_SimdExp(benchmark::State& state) {
+  const simd::SimdKernelTable& kt = TableFor(state);
+  const int64_t n = kRows * kDim;
+  Rng rng(16);
+  Tensor x = Tensor::RandUniform({n}, rng, -6.0f, 6.0f);
+  std::vector<float> ref(n), got(n);
+  std::memcpy(ref.data(), x.data(), n * sizeof(float));
+  std::memcpy(got.data(), x.data(), n * sizeof(float));
+  simd::ScalarKernels().exp_inplace(ref.data(), n);
+  kt.exp_inplace(got.data(), n);
+  if (!ParityOk(state, ref.data(), got.data(), n)) return;
+  for (auto _ : state) {
+    // exp is in place; the refill memcpy is charged to both variants alike.
+    std::memcpy(got.data(), x.data(), n * sizeof(float));
+    kt.exp_inplace(got.data(), n);
+    benchmark::DoNotOptimize(got.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(kt.name);
+}
+BENCHMARK(BM_SimdExp)->Arg(0)->Arg(1);
+
+void BM_SimdElu(benchmark::State& state) {
+  const simd::SimdKernelTable& kt = TableFor(state);
+  const int64_t n = kRows * kDim;
+  Rng rng(17);
+  Tensor x = Tensor::RandUniform({n}, rng, -4.0f, 4.0f);
+  std::vector<float> ref(n), got(n);
+  simd::ScalarKernels().elu(x.data(), ref.data(), n, 1.0f);
+  kt.elu(x.data(), got.data(), n, 1.0f);
+  if (!ParityOk(state, ref.data(), got.data(), n)) return;
+  for (auto _ : state) {
+    kt.elu(x.data(), got.data(), n, 1.0f);
+    benchmark::DoNotOptimize(got.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(kt.name);
+}
+BENCHMARK(BM_SimdElu)->Arg(0)->Arg(1);
+
+void BM_SimdAxpy(benchmark::State& state) {
+  const simd::SimdKernelTable& kt = TableFor(state);
+  const int64_t n = kRows * kDim;
+  Rng rng(18);
+  Tensor x = Tensor::Randn({n}, rng);
+  std::vector<float> ref(n, 0.5f), got(n, 0.5f);
+  simd::ScalarKernels().axpy(x.data(), 0.37f, ref.data(), n);
+  kt.axpy(x.data(), 0.37f, got.data(), n);
+  if (!ParityOk(state, ref.data(), got.data(), n)) return;
+  for (auto _ : state) {
+    kt.axpy(x.data(), 1e-6f, got.data(), n);  // tiny s: values stay finite
+    benchmark::DoNotOptimize(got.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(kt.name);
+}
+BENCHMARK(BM_SimdAxpy)->Arg(0)->Arg(1);
+
+void BM_SimdAddProduct(benchmark::State& state) {
+  const simd::SimdKernelTable& kt = TableFor(state);
+  const int64_t n = kRows * kDim;
+  Rng rng(19);
+  Tensor a = Tensor::Randn({n}, rng);
+  Tensor b = Tensor::Randn({n}, rng);
+  std::vector<float> ref(n, 0.5f), got(n, 0.5f);
+  simd::ScalarKernels().add_product(a.data(), b.data(), 0.37f, ref.data(), n);
+  kt.add_product(a.data(), b.data(), 0.37f, got.data(), n);
+  if (!ParityOk(state, ref.data(), got.data(), n)) return;
+  for (auto _ : state) {
+    kt.add_product(a.data(), b.data(), 1e-6f, got.data(), n);
+    benchmark::DoNotOptimize(got.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(kt.name);
+}
+BENCHMARK(BM_SimdAddProduct)->Arg(0)->Arg(1);
+
+void BM_SimdSegmentSoftmaxCsr(benchmark::State& state) {
+  const simd::SimdKernelTable& kt = TableFor(state);
+  constexpr int64_t d = 18;
+  FeatureGraph graph = FeatureGraph::Complete(d);
+  graph.AddSelfLoops();
+  const FeatureGraph::CsrByDst& csr = graph.csr_by_dst();
+  const int64_t num_arcs = graph.num_arcs();
+  Rng rng(20);
+  Tensor scores = Tensor::Randn({num_arcs}, rng);
+  std::vector<float> ref(num_arcs), got(num_arcs);
+  std::memcpy(ref.data(), scores.data(), num_arcs * sizeof(float));
+  std::memcpy(got.data(), scores.data(), num_arcs * sizeof(float));
+  simd::ScalarKernels().segment_softmax_csr(ref.data(), csr.offsets.data(),
+                                            static_cast<size_t>(d),
+                                            csr.order.data());
+  kt.segment_softmax_csr(got.data(), csr.offsets.data(),
+                         static_cast<size_t>(d), csr.order.data());
+  if (!ParityOk(state, ref.data(), got.data(), num_arcs)) return;
+  for (auto _ : state) {
+    std::memcpy(got.data(), scores.data(), num_arcs * sizeof(float));
+    kt.segment_softmax_csr(got.data(), csr.offsets.data(),
+                           static_cast<size_t>(d), csr.order.data());
+    benchmark::DoNotOptimize(got.data());
+  }
+  state.SetItemsProcessed(state.iterations() * num_arcs);
+  state.SetLabel(kt.name);
+}
+BENCHMARK(BM_SimdSegmentSoftmaxCsr)->Arg(0)->Arg(1);
+
+void BM_SimdQuantizeRows(benchmark::State& state) {
+  const simd::SimdKernelTable& kt = TableFor(state);
+  Rng rng(21);
+  Tensor x = Tensor::Randn({kRows, kDim}, rng);
+  std::vector<int8_t> qr(kRows * kDim), qg(kRows * kDim);
+  std::vector<float> sr(kRows), sg(kRows);
+  simd::ScalarKernels().quantize_rows(x.data(), kRows, kDim, kDim, qr.data(),
+                                      sr.data());
+  kt.quantize_rows(x.data(), kRows, kDim, kDim, qg.data(), sg.data());
+  if (std::memcmp(qr.data(), qg.data(), qr.size()) != 0 ||
+      !ParityOk(state, sr.data(), sg.data(), kRows)) {
+    state.SkipWithError("checksum mismatch vs scalar table");
+    return;
+  }
+  for (auto _ : state) {
+    kt.quantize_rows(x.data(), kRows, kDim, kDim, qg.data(), sg.data());
+    benchmark::DoNotOptimize(qg.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.SetLabel(kt.name);
+}
+BENCHMARK(BM_SimdQuantizeRows)->Arg(0)->Arg(1);
+
+void BM_SimdQgemm(benchmark::State& state) {
+  const simd::SimdKernelTable& kt = TableFor(state);
+  Rng rng(22);
+  Tensor x = Tensor::Randn({kRows, kDim}, rng);
+  Tensor w = Tensor::Randn({kDim, kDim}, rng);
+  Tensor bias = Tensor::Randn({kDim}, rng);
+  QuantizedWeight qw = QuantizeWeight(w);
+  PackQuantizedWeight(qw);
+  std::vector<int8_t> xq(kRows * kDim);
+  std::vector<float> xs(kRows);
+  simd::ScalarKernels().quantize_rows(x.data(), kRows, kDim, kDim, xq.data(),
+                                      xs.data());
+  std::vector<float> ref(kRows * kDim), got(kRows * kDim);
+  simd::ScalarKernels().qgemm(xq.data(), xs.data(), qw.packed.data(),
+                              qw.scales.data(), bias.data(), ref.data(),
+                              kRows, kDim, kDim);
+  kt.qgemm(xq.data(), xs.data(), qw.packed.data(), qw.scales.data(),
+           bias.data(), got.data(), kRows, kDim, kDim);
+  if (!ParityOk(state, ref.data(), got.data(), kRows * kDim)) return;
+  for (auto _ : state) {
+    kt.qgemm(xq.data(), xs.data(), qw.packed.data(), qw.scales.data(),
+             bias.data(), got.data(), kRows, kDim, kDim);
+    benchmark::DoNotOptimize(got.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.SetLabel(kt.name);
+}
+BENCHMARK(BM_SimdQgemm)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace dquag

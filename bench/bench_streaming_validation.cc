@@ -19,6 +19,8 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
+#include <vector>
 #include <string>
 #include <thread>
 
@@ -106,7 +108,9 @@ int RunAll(const char* json_path) {
   // Streamed path at two stream lengths: full file, and a half-length
   // prefix re-written to its own file. Equal peaks => O(chunk) memory,
   // independent of stream length.
-  auto run_stream = [&](const std::string& file) {
+  std::vector<size_t> stream_flagged_rows;
+  auto run_stream = [&](const std::string& file, ValidationMode mode,
+                        std::vector<size_t>* flagged_out) {
     StreamRun run;
     Stopwatch timer;
     CsvChunkReaderOptions reader_options;
@@ -115,6 +119,7 @@ int RunAll(const char* json_path) {
     DQUAG_CHECK(reader.ok());
     StreamingValidatorOptions stream_options;
     stream_options.max_in_flight = max_in_flight;
+    stream_options.mode = mode;
     auto verdict = service.ValidateStream(**reader, nullptr, stream_options);
     DQUAG_CHECK(verdict.ok());
     run.seconds = timer.ElapsedSeconds();
@@ -122,6 +127,7 @@ int RunAll(const char* json_path) {
     run.flagged = static_cast<int64_t>(verdict->flagged_rows.size());
     run.peak_buffered_rows = verdict->peak_buffered_rows;
     run.is_dirty = verdict->is_dirty;
+    if (flagged_out != nullptr) *flagged_out = verdict->flagged_rows;
     return run;
   };
 
@@ -130,13 +136,33 @@ int RunAll(const char* json_path) {
       WriteCsvFile(whole_table->SliceRows(0, rows / 2).ToCsv(), half_path)
           .ok());
 
-  const StreamRun half = run_stream(half_path);
-  const StreamRun full = run_stream(path);
+  const StreamRun half = run_stream(half_path, ValidationMode{}, nullptr);
+  const StreamRun full =
+      run_stream(path, ValidationMode{}, &stream_flagged_rows);
+  // Quantized stream: same file through the int8 forward path. The verdict
+  // contract (ValidationMode) allows at most 0.5% of rows to flip versus
+  // the float stream.
+  std::vector<size_t> quant_flagged_rows;
+  const StreamRun quant =
+      run_stream(path, ValidationMode{/*quantized=*/true,
+                                      /*recheck_margin=*/0.25},
+                 &quant_flagged_rows);
 
   const double whole_rows_per_sec =
       static_cast<double>(rows) / whole_seconds;
   const double stream_rows_per_sec =
       static_cast<double>(full.rows) / full.seconds;
+  const double quant_rows_per_sec =
+      static_cast<double>(quant.rows) / quant.seconds;
+  // Symmetric difference of the flagged-row id sets = verdict flips.
+  int64_t quant_flips = 0;
+  {
+    std::set<size_t> a(stream_flagged_rows.begin(),
+                       stream_flagged_rows.end());
+    std::set<size_t> b(quant_flagged_rows.begin(), quant_flagged_rows.end());
+    for (size_t id : a) quant_flips += b.count(id) == 0 ? 1 : 0;
+    for (size_t id : b) quant_flips += a.count(id) == 0 ? 1 : 0;
+  }
   const int64_t bound = max_in_flight * chunk_rows;
 
   std::printf("%16s  %10s  %12s  %18s\n", "path", "seconds", "rows/s",
@@ -146,6 +172,9 @@ int RunAll(const char* json_path) {
   std::printf("%16s  %10.3f  %12.0f  %18lld\n", "streamed", full.seconds,
               stream_rows_per_sec,
               static_cast<long long>(full.peak_buffered_rows));
+  std::printf("%16s  %10.3f  %12.0f  %18lld\n", "streamed-int8",
+              quant.seconds, quant_rows_per_sec,
+              static_cast<long long>(quant.peak_buffered_rows));
   std::printf("half-length stream peak: %lld rows (full: %lld, bound: %lld)"
               " — O(chunk), row-count independent\n",
               static_cast<long long>(half.peak_buffered_rows),
@@ -156,6 +185,11 @@ int RunAll(const char* json_path) {
               static_cast<long long>(full.rows),
               full.is_dirty ? "DIRTY" : "clean",
               static_cast<long long>(PeakRssKib()));
+  std::printf("int8 stream: %lld flagged, %lld verdict flips vs float "
+              "(budget %lld)\n",
+              static_cast<long long>(quant.flagged),
+              static_cast<long long>(quant_flips),
+              static_cast<long long>(rows / 200));
 
   bool failed = false;
   if (full.rows != rows ||
@@ -176,6 +210,14 @@ int RunAll(const char* json_path) {
                  "max_in_flight * chunk_rows bound\n");
     failed = true;
   }
+  if (quant_flips > rows / 200) {
+    std::fprintf(stderr,
+                 "FAIL: quantized stream flipped %lld row verdicts "
+                 "(> 0.5%% of %lld rows)\n",
+                 static_cast<long long>(quant_flips),
+                 static_cast<long long>(rows));
+    failed = true;
+  }
 
   if (json_path != nullptr) {
     std::ofstream out(json_path);
@@ -189,6 +231,9 @@ int RunAll(const char* json_path) {
         << "  \"stream_seconds\": " << full.seconds << ",\n"
         << "  \"whole_rows_per_sec\": " << whole_rows_per_sec << ",\n"
         << "  \"stream_rows_per_sec\": " << stream_rows_per_sec << ",\n"
+        << "  \"stream_rows_per_sec_quantized\": " << quant_rows_per_sec
+        << ",\n"
+        << "  \"quantized_stream_flips\": " << quant_flips << ",\n"
         << "  \"peak_buffered_rows_full\": " << full.peak_buffered_rows
         << ",\n"
         << "  \"peak_buffered_rows_half\": " << half.peak_buffered_rows

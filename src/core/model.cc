@@ -2,6 +2,7 @@
 
 #include "autograd/ops.h"
 #include "nn/init.h"
+#include "tensor/simd.h"
 
 namespace dquag {
 
@@ -48,21 +49,9 @@ Tensor& FeatureDetokenizer::InferForward(const Tensor& z,
   const int64_t d = num_features_;
   const int64_t h = embedding_dim_;
   Tensor& out = ctx.Acquire({batch, d});
-  const float* pz = z.data();
-  const float* pw = weight_->value().data();
-  const float* pb = bias_->value().data();
-  float* po = out.data();
-  for (int64_t b = 0; b < batch; ++b) {
-    const float* zr = pz + b * d * h;
-    float* o = po + b * d;
-    for (int64_t f = 0; f < d; ++f) {
-      const float* zf = zr + f * h;
-      const float* wf = pw + f * h;
-      float acc = 0.0f;
-      for (int64_t j = 0; j < h; ++j) acc += zf[j] * wf[j];
-      o[f] = acc + pb[f];
-    }
-  }
+  simd::ActiveKernels().readout_dot(z.data(), weight_->value().data(),
+                                    bias_->value().data(), out.data(), batch,
+                                    d, h);
   return out;
 }
 

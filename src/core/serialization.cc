@@ -8,8 +8,22 @@
 //   per-column preprocessing statistics (vocabulary or min/max)
 //   error statistics (threshold, mean, stddev, min, max)
 //   model parameters, in Module::Parameters() order (deterministic)
+//   [optional] quantized weights: per-channel int8 + scales, in
+//     CollectQuantizedSlots() order. Absent in checkpoints written before
+//     the section existed — Load then derives the scales lazily, which is
+//     bit-identical because derivation is deterministic.
+//
+// Load never trusts a length prefix: every count is bounded against the
+// bytes actually remaining in the buffer BEFORE any allocation sized by
+// it, and every config field is range-checked before the model is
+// constructed, so a truncated or corrupted checkpoint fails with a Status
+// instead of an abort or a hostile allocation (see
+// tests/checkpoint_fuzz_test.cc).
+
+#include <cmath>
 
 #include "core/pipeline.h"
+#include "tensor/quantized.h"
 #include "util/binary_io.h"
 
 namespace dquag {
@@ -17,6 +31,8 @@ namespace dquag {
 namespace {
 
 constexpr uint64_t kMagic = 0x4741514400000001ULL;  // "DQAG" + version 1
+// "DQQ8" + version 1: start of the optional quantized-weights section.
+constexpr uint64_t kQuantSectionMagic = 0x3851514400000001ULL;
 
 void WriteConfig(BinaryWriter& w, const DquagConfig& config) {
   w.WriteI64(static_cast<int64_t>(config.encoder.kind));
@@ -65,6 +81,40 @@ Status ReadConfig(BinaryReader& r, DquagConfig& config) {
   DQUAG_ASSIGN_OR_RETURN(config.feature_sigma_k, r.ReadDouble());
   DQUAG_ASSIGN_OR_RETURN(config.inference_chunk_rows, r.ReadI64());
   DQUAG_ASSIGN_OR_RETURN(config.seed, r.ReadU64());
+  return Status::Ok();
+}
+
+/// Range checks on a decoded config, applied before any model is built
+/// from it. Limits are generous versus anything the trainer produces but
+/// small enough that a corrupted field cannot drive pathological
+/// allocations or out-of-range enum dispatch.
+Status ValidateConfig(const DquagConfig& config) {
+  const auto kind = static_cast<int64_t>(config.encoder.kind);
+  if (kind < static_cast<int64_t>(EncoderKind::kGraph2Vec) ||
+      kind > static_cast<int64_t>(EncoderKind::kGatGin)) {
+    return Status::InvalidArgument("checkpoint: invalid encoder kind");
+  }
+  const auto act = static_cast<int64_t>(config.encoder.activation);
+  if (act < static_cast<int64_t>(Activation::kIdentity) ||
+      act > static_cast<int64_t>(Activation::kTanh)) {
+    return Status::InvalidArgument("checkpoint: invalid activation");
+  }
+  if (config.encoder.hidden_dim < 1 || config.encoder.hidden_dim > 1024) {
+    return Status::InvalidArgument("checkpoint: implausible hidden_dim");
+  }
+  if (config.encoder.num_layers < 1 || config.encoder.num_layers > 32) {
+    return Status::InvalidArgument("checkpoint: implausible num_layers");
+  }
+  if (config.encoder.num_heads < 1 || config.encoder.num_heads > 64 ||
+      config.encoder.hidden_dim % config.encoder.num_heads != 0) {
+    return Status::InvalidArgument("checkpoint: invalid num_heads");
+  }
+  if (config.batch_size < 1) {
+    return Status::InvalidArgument("checkpoint: invalid batch_size");
+  }
+  if (config.inference_chunk_rows < 1) {
+    return Status::InvalidArgument("checkpoint: invalid inference_chunk_rows");
+  }
   return Status::Ok();
 }
 
@@ -127,6 +177,21 @@ Status DquagPipeline::Save(const std::string& path) const {
     for (int64_t i = 0; i < value.ndim(); ++i) w.WriteI64(value.dim(i));
     w.WriteFloatArray(value.data(), static_cast<size_t>(value.numel()));
   }
+
+  // Quantized weights, captured now so every loader of this checkpoint
+  // (any machine, any ISA) serves the exact same int8 model.
+  std::vector<QuantizedSlot> slots;
+  model_->CollectQuantizedSlots(slots);
+  w.WriteU64(kQuantSectionMagic);
+  w.WriteU64(slots.size());
+  for (const QuantizedSlot& slot : slots) {
+    const QuantizedWeight& qw = slot.cache->GetOrDerive(*slot.weight);
+    w.WriteI64(qw.in);
+    w.WriteI64(qw.out);
+    w.WriteFloatArray(qw.scales.data(), qw.scales.size());
+    w.WriteString(std::string(reinterpret_cast<const char*>(qw.data.data()),
+                              qw.data.size()));
+  }
   return w.SaveToFile(path);
 }
 
@@ -142,6 +207,7 @@ StatusOr<DquagPipeline> DquagPipeline::Load(const std::string& path) {
 
   DquagPipelineOptions options;
   DQUAG_RETURN_IF_ERROR(ReadConfig(r, options.config));
+  DQUAG_RETURN_IF_ERROR(ValidateConfig(options.config));
 
   // Schema.
   DQUAG_ASSIGN_OR_RETURN(int64_t num_columns, r.ReadI64());
@@ -162,6 +228,12 @@ StatusOr<DquagPipeline> DquagPipeline::Load(const std::string& path) {
 
   // Relationships.
   DQUAG_ASSIGN_OR_RETURN(uint64_t num_relationships, r.ReadU64());
+  // Each relationship encodes to >= 32 bytes (three length prefixes plus a
+  // double), so a count beyond remaining/32 is corrupt — reject it before
+  // reserve() turns it into a hostile allocation.
+  if (num_relationships > r.remaining() / 32) {
+    return Status::OutOfRange("implausible relationship count");
+  }
   std::vector<FeatureRelationship> relationships;
   relationships.reserve(num_relationships);
   for (uint64_t i = 0; i < num_relationships; ++i) {
@@ -179,6 +251,10 @@ StatusOr<DquagPipeline> DquagPipeline::Load(const std::string& path) {
   for (int64_t c = 0; c < num_columns; ++c) {
     if (schema.column(c).type == ColumnType::kCategorical) {
       DQUAG_ASSIGN_OR_RETURN(uint64_t vocab_size, r.ReadU64());
+      // Every vocabulary entry costs at least its 8-byte length prefix.
+      if (vocab_size > r.remaining() / 8) {
+        return Status::OutOfRange("implausible vocabulary size");
+      }
       std::vector<std::string> vocabulary;
       vocabulary.reserve(vocab_size);
       for (uint64_t i = 0; i < vocab_size; ++i) {
@@ -189,6 +265,13 @@ StatusOr<DquagPipeline> DquagPipeline::Load(const std::string& path) {
     } else {
       DQUAG_ASSIGN_OR_RETURN(double lo, r.ReadDouble());
       DQUAG_ASSIGN_OR_RETURN(double hi, r.ReadDouble());
+      // SetRange CHECKs lo < hi; a corrupted byte must surface as a
+      // Status, not an abort (NaN fails the comparison too).
+      if (!std::isfinite(lo) || !std::isfinite(hi) || !(lo < hi)) {
+        return Status::InvalidArgument(
+            "checkpoint: invalid scaler range for column " +
+            std::to_string(c));
+      }
       scalers[static_cast<size_t>(c)].SetRange(lo, hi);
     }
   }
@@ -200,6 +283,11 @@ StatusOr<DquagPipeline> DquagPipeline::Load(const std::string& path) {
   DQUAG_ASSIGN_OR_RETURN(stats.stddev, r.ReadDouble());
   DQUAG_ASSIGN_OR_RETURN(stats.min, r.ReadDouble());
   DQUAG_ASSIGN_OR_RETURN(stats.max, r.ReadDouble());
+  if (!std::isfinite(stats.threshold) || !std::isfinite(stats.mean) ||
+      !std::isfinite(stats.stddev) || !std::isfinite(stats.min) ||
+      !std::isfinite(stats.max)) {
+    return Status::InvalidArgument("checkpoint: non-finite error statistics");
+  }
 
   // Assemble the pipeline.
   DquagPipeline pipeline(std::move(options));
@@ -227,6 +315,9 @@ StatusOr<DquagPipeline> DquagPipeline::Load(const std::string& path) {
   }
   for (const VarPtr& p : parameters) {
     DQUAG_ASSIGN_OR_RETURN(int64_t ndim, r.ReadI64());
+    if (ndim < 0 || ndim > 8) {
+      return Status::InvalidArgument("checkpoint parameter rank out of range");
+    }
     Shape shape;
     for (int64_t i = 0; i < ndim; ++i) {
       DQUAG_ASSIGN_OR_RETURN(int64_t dim, r.ReadI64());
@@ -237,6 +328,51 @@ StatusOr<DquagPipeline> DquagPipeline::Load(const std::string& path) {
     }
     DQUAG_RETURN_IF_ERROR(r.ReadFloatArray(
         p->mutable_value().data(), static_cast<size_t>(p->value().numel())));
+  }
+
+  // Optional quantized-weights section. Checkpoints written before it
+  // existed simply end here; their int8 weights are derived lazily on
+  // first quantized inference (bit-identical to the stored form).
+  if (!r.AtEnd()) {
+    DQUAG_ASSIGN_OR_RETURN(uint64_t quant_magic, r.ReadU64());
+    if (quant_magic != kQuantSectionMagic) {
+      return Status::InvalidArgument("checkpoint: bad quantized-section tag");
+    }
+    std::vector<QuantizedSlot> slots;
+    pipeline.model_->CollectQuantizedSlots(slots);
+    DQUAG_ASSIGN_OR_RETURN(uint64_t num_slots, r.ReadU64());
+    if (num_slots != slots.size()) {
+      return Status::InvalidArgument(
+          "checkpoint quantized slot count mismatch: stored " +
+          std::to_string(num_slots) + ", model has " +
+          std::to_string(slots.size()));
+    }
+    for (const QuantizedSlot& slot : slots) {
+      QuantizedWeight qw;
+      DQUAG_ASSIGN_OR_RETURN(qw.in, r.ReadI64());
+      DQUAG_ASSIGN_OR_RETURN(qw.out, r.ReadI64());
+      if (qw.in != slot.weight->dim(0) || qw.out != slot.weight->dim(1)) {
+        return Status::InvalidArgument(
+            "checkpoint quantized slot shape mismatch");
+      }
+      qw.scales.resize(static_cast<size_t>(qw.out));
+      DQUAG_RETURN_IF_ERROR(
+          r.ReadFloatArray(qw.scales.data(), qw.scales.size()));
+      for (float s : qw.scales) {
+        if (!std::isfinite(s) || s < 0.0f) {
+          return Status::InvalidArgument(
+              "checkpoint quantized scale not finite");
+        }
+      }
+      DQUAG_ASSIGN_OR_RETURN(std::string bytes, r.ReadString());
+      if (bytes.size() != static_cast<size_t>(qw.in * qw.out)) {
+        return Status::InvalidArgument(
+            "checkpoint quantized data size mismatch");
+      }
+      const int8_t* p = reinterpret_cast<const int8_t*>(bytes.data());
+      qw.data.assign(p, p + bytes.size());
+      slot.cache->Install(std::move(qw));
+    }
   }
 
   pipeline.report_.error_statistics = stats;

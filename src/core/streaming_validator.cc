@@ -210,10 +210,10 @@ StatusOr<StreamVerdict> StreamingValidator::Run(
     // engine inference out.
     slot->matrix = preprocessor.Transform(slot->chunk);
     slot->verdicts.resize(static_cast<size_t>(slot->rows));
-    auto validate_chunk = [&validator, slot] {
+    auto validate_chunk = [&validator, slot, mode = options_.mode] {
       validator.ValidateRowsInto(slot->matrix, 0, slot->rows,
                                  InferenceContext::ThreadLocal(),
-                                 slot->verdicts.data());
+                                 slot->verdicts.data(), mode);
     };
     if (serial) {
       validate_chunk();

@@ -111,6 +111,9 @@ struct StreamingValidatorOptions {
   /// Also repair each chunk's flagged cells; repaired chunks are handed to
   /// the callback and repair totals accumulate into the StreamVerdict.
   bool repair = false;
+  /// Forward-pass mode for chunk validation (float by default; see
+  /// ValidationMode for the quantized contract). Repair always runs float.
+  ValidationMode mode;
 };
 
 class StreamingValidator {

@@ -38,6 +38,7 @@ BatchVerdict ValidationService::ValidateMatrix(const Tensor& matrix) const {
   verdict.threshold = validator.threshold();
   verdict.instances.resize(static_cast<size_t>(rows));
 
+  const ValidationMode mode = validation_mode();
   const int64_t micro = options_.micro_batch_rows;
   const int64_t num_chunks = micro > 0 ? (rows + micro - 1) / micro : 0;
   if (num_chunks <= 1 || InsidePoolWorker()) {
@@ -46,7 +47,7 @@ BatchVerdict ValidationService::ValidateMatrix(const Tensor& matrix) const {
     if (rows > 0) {
       validator.ValidateRowsInto(matrix, 0, rows,
                                  InferenceContext::ThreadLocal(),
-                                 verdict.instances.data());
+                                 verdict.instances.data(), mode);
     }
   } else {
     // Fan the chunks across the shared pool behind a private latch — not
@@ -56,7 +57,7 @@ BatchVerdict ValidationService::ValidateMatrix(const Tensor& matrix) const {
       const int64_t hi = std::min(rows, lo + micro);
       validator.ValidateRowsInto(matrix, lo, hi,
                                  InferenceContext::ThreadLocal(),
-                                 verdict.instances.data() + lo);
+                                 verdict.instances.data() + lo, mode);
     });
   }
 
@@ -101,6 +102,7 @@ StatusOr<StreamVerdict> ValidationService::ValidateStream(
     TableChunkReader& reader,
     const StreamingValidator::ChunkCallback& callback,
     StreamingValidatorOptions stream_options) const {
+  if (options_.quantized) stream_options.mode = validation_mode();
   StreamingValidator streamer(&pipeline_, stream_options);
   auto verdict = streamer.Run(reader, callback);
   if (!verdict.ok()) return verdict.status();

@@ -39,6 +39,12 @@ struct ValidationServiceOptions {
   int64_t micro_batch_rows = 512;
   /// Stream-monitoring knobs for Observe().
   MonitorOptions monitor;
+  /// Serve validation on the int8 quantized engine (see ValidationMode).
+  /// Repair always runs on the float path.
+  bool quantized = false;
+  /// Margin-band width for the quantized float re-check, as a fraction of
+  /// the threshold.
+  double quantized_margin = 0.25;
 };
 
 /// Monotonic service counters (atomically maintained; read with stats()).
@@ -125,6 +131,11 @@ class ValidationService {
 
   const DquagPipeline& pipeline() const { return pipeline_; }
   const ValidationServiceOptions& options() const { return options_; }
+
+  /// The forward-pass mode derived from the service options.
+  ValidationMode validation_mode() const {
+    return {options_.quantized, options_.quantized_margin};
+  }
 
  private:
   DquagPipeline pipeline_;

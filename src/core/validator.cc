@@ -22,14 +22,22 @@ double Validator::batch_cutoff() const {
          config_.batch_flag_multiplier;
 }
 
-BatchVerdict Validator::Validate(const Table& batch) const {
+BatchVerdict Validator::Validate(const Table& batch,
+                                 const ValidationMode& mode) const {
   DQUAG_CHECK(preprocessor_ != nullptr);
-  return ValidateMatrix(preprocessor_->Transform(batch));
+  return ValidateMatrix(preprocessor_->Transform(batch), mode);
 }
 
 void Validator::ValidateRowsInto(const Tensor& matrix, int64_t start,
                                  int64_t end, InferenceContext& ctx,
                                  InstanceVerdict* out) const {
+  ValidateRowsInto(matrix, start, end, ctx, out, ValidationMode{});
+}
+
+void Validator::ValidateRowsInto(const Tensor& matrix, int64_t start,
+                                 int64_t end, InferenceContext& ctx,
+                                 InstanceVerdict* out,
+                                 const ValidationMode& mode) const {
   DQUAG_CHECK_EQ(matrix.ndim(), 2);
   DQUAG_CHECK_EQ(matrix.dim(1), model_->num_features());
   DQUAG_CHECK_GE(start, 0);
@@ -40,12 +48,54 @@ void Validator::ValidateRowsInto(const Tensor& matrix, int64_t start,
   ctx.Rewind();
   Tensor& slice = ctx.Acquire({end - start, d});
   std::copy(matrix.data() + start * d, matrix.data() + end * d, slice.data());
-  const Tensor& reconstructed = model_->InferValidation(slice, ctx);
 
+  if (!mode.quantized) {
+    const Tensor& reconstructed = model_->InferValidation(slice, ctx);
+    ScoreRowsInto(reconstructed.data(), slice.data(), end - start, out);
+    return;
+  }
+
+  // Quantized pass. The flag is restored before returning so a shared
+  // (thread-local) context never leaks quantized mode into float callers.
+  ctx.set_quantized(true);
+  const Tensor& recon_q = model_->InferValidation(slice, ctx);
+  ctx.set_quantized(false);
+  ScoreRowsInto(recon_q.data(), slice.data(), end - start, out);
+
+  // Rows whose quantized error landed inside the margin band around the
+  // threshold are re-validated on the float path, which is authoritative.
+  const double band = mode.recheck_margin * threshold_;
+  std::vector<int64_t> recheck;
   for (int64_t r = 0; r < end - start; ++r) {
+    if (std::abs(out[r].error - threshold_) <= band) {
+      recheck.push_back(r);
+    }
+  }
+  if (recheck.empty()) return;
+
+  const size_t mark = ctx.Mark();
+  Tensor& sub = ctx.Acquire({static_cast<int64_t>(recheck.size()), d});
+  for (size_t i = 0; i < recheck.size(); ++i) {
+    const float* src = slice.data() + recheck[i] * d;
+    std::copy(src, src + d, sub.data() + static_cast<int64_t>(i) * d);
+  }
+  const Tensor& recon_f = model_->InferValidation(sub, ctx);
+  std::vector<InstanceVerdict> fixed(recheck.size());
+  ScoreRowsInto(recon_f.data(), sub.data(),
+                static_cast<int64_t>(recheck.size()), fixed.data());
+  for (size_t i = 0; i < recheck.size(); ++i) {
+    out[recheck[i]] = std::move(fixed[i]);
+  }
+  ctx.RewindTo(mark);
+}
+
+void Validator::ScoreRowsInto(const float* prediction, const float* targets,
+                              int64_t rows, InstanceVerdict* out) const {
+  const int64_t d = model_->num_features();
+  for (int64_t r = 0; r < rows; ++r) {
     InstanceVerdict& inst = out[r];
-    const float* pred = reconstructed.data() + r * d;
-    const float* target = slice.data() + r * d;
+    const float* pred = prediction + r * d;
+    const float* target = targets + r * d;
     // Instance error = mean of per-feature squared errors (§3.1.4).
     double mean = 0.0;
     for (int64_t c = 0; c < d; ++c) {
@@ -105,7 +155,8 @@ void Validator::FinalizeVerdict(BatchVerdict& verdict) const {
   verdict.is_dirty = verdict.flagged_fraction > batch_cutoff();
 }
 
-BatchVerdict Validator::ValidateMatrix(const Tensor& matrix) const {
+BatchVerdict Validator::ValidateMatrix(const Tensor& matrix,
+                                       const ValidationMode& mode) const {
   DQUAG_CHECK_EQ(matrix.ndim(), 2);
   DQUAG_CHECK_EQ(matrix.dim(1), model_->num_features());
   const int64_t rows = matrix.dim(0);
@@ -119,7 +170,7 @@ BatchVerdict Validator::ValidateMatrix(const Tensor& matrix) const {
   for (int64_t start = 0; start < rows; start += chunk) {
     const int64_t end = std::min(rows, start + chunk);
     ValidateRowsInto(matrix, start, end, ctx,
-                     verdict.instances.data() + start);
+                     verdict.instances.data() + start, mode);
   }
   FinalizeVerdict(verdict);
   return verdict;

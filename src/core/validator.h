@@ -23,6 +23,22 @@
 
 namespace dquag {
 
+/// How the validator runs the reconstruction forward pass.
+///
+/// The quantized mode trades the float GEMMs for int8 ones (per-channel
+/// symmetric weights, dynamic per-row activations). Quantization perturbs
+/// reconstruction errors slightly, so rows whose error lands within
+/// `recheck_margin * threshold` of the decision boundary are re-validated
+/// on the float path, which stays authoritative: a verdict can only differ
+/// from the float path when the quantized error lands clearly outside the
+/// margin band, i.e. when quantization noise exceeds 25% of the threshold.
+/// On clean data (errors far below threshold) this makes flips vanishingly
+/// rare.
+struct ValidationMode {
+  bool quantized = false;
+  double recheck_margin = 0.25;
+};
+
 /// Verdict for one instance of a validated batch.
 struct InstanceVerdict {
   double error = 0.0;
@@ -49,10 +65,12 @@ class Validator {
             double threshold, const DquagConfig& config);
 
   /// Validates a table (preprocess + reconstruct + threshold).
-  BatchVerdict Validate(const Table& batch) const;
+  BatchVerdict Validate(const Table& batch,
+                        const ValidationMode& mode = {}) const;
 
   /// Validates an already-preprocessed matrix [B, d].
-  BatchVerdict ValidateMatrix(const Tensor& matrix) const;
+  BatchVerdict ValidateMatrix(const Tensor& matrix,
+                              const ValidationMode& mode = {}) const;
 
   /// Engine-path validation of rows [start, end) of `matrix`, writing the
   /// per-instance verdicts into out[0 .. end-start). `ctx` is the calling
@@ -61,6 +79,13 @@ class Validator {
   /// ValidationService.
   void ValidateRowsInto(const Tensor& matrix, int64_t start, int64_t end,
                         InferenceContext& ctx, InstanceVerdict* out) const;
+
+  /// Mode-aware variant: with mode.quantized the forward pass runs on the
+  /// int8 engine and margin-band rows are re-checked on the float path
+  /// (see ValidationMode).
+  void ValidateRowsInto(const Tensor& matrix, int64_t start, int64_t end,
+                        InferenceContext& ctx, InstanceVerdict* out,
+                        const ValidationMode& mode) const;
 
   /// Derives the batch-level verdict fields (flagged_rows, fraction,
   /// is_dirty) from already-filled per-instance verdicts. Shared by serial
@@ -76,6 +101,12 @@ class Validator {
   double batch_cutoff() const;
 
  private:
+  /// Scores `rows` reconstructed rows against their inputs: per-instance
+  /// error, flag, suspect features. Shared by the float and quantized
+  /// passes so the decision rule lives in one place.
+  void ScoreRowsInto(const float* pred, const float* target, int64_t rows,
+                     InstanceVerdict* out) const;
+
   const DquagModel* model_;
   const TablePreprocessor* preprocessor_;
   double threshold_;

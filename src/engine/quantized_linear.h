@@ -1,0 +1,52 @@
+// Engine-side entry point for int8 quantized linear layers.
+//
+// Sits between the module layer (Linear / GCN / GAT projections decide
+// *whether* to quantize from InferenceContext::quantized()) and the SIMD
+// kernel table (quantize_rows + qgemm do the arithmetic). Scratch for the
+// int8 activations and per-row scales comes from the caller's arena, so
+// the steady-state quantized pass allocates nothing.
+
+#ifndef DQUAG_ENGINE_QUANTIZED_LINEAR_H_
+#define DQUAG_ENGINE_QUANTIZED_LINEAR_H_
+
+#include "engine/inference_context.h"
+#include "tensor/quantized.h"
+#include "tensor/tensor.h"
+
+namespace dquag {
+
+/// out[rows, qw.out] = dequant(quant(x) @ qw) + bias. x is any tensor whose
+/// trailing dimension is qw.in (rows = numel / in); bias may be null. out
+/// must be preallocated to rows * qw.out and is fully overwritten (no
+/// bias-seeding pass — the quantized kernel writes each output once).
+void QuantizedLinearInto(const Tensor& x, const QuantizedWeight& qw,
+                         const Tensor* bias, InferenceContext& ctx,
+                         Tensor& out);
+
+/// A quantized activation staged in the caller's arena: int8 rows padded to
+/// an even trailing dimension plus one symmetric scale per row. Pointers
+/// stay valid until the context rewinds past them.
+struct QuantizedActivation {
+  const int8_t* xq = nullptr;
+  const float* scales = nullptr;
+  int64_t rows = 0;
+  int64_t k_padded = 0;
+};
+
+/// Quantizes x (trailing dimension k) once into ctx scratch. Lets callers
+/// that feed the SAME activation to several weights — a multi-head GAT
+/// projects node_features through every head — pay the quantize pass once
+/// instead of per weight. Bitwise identical to the fused path: quantize_rows
+/// is deterministic per row, so splitting it from the GEMM changes nothing.
+QuantizedActivation QuantizeActivation(const Tensor& x, int64_t k,
+                                       InferenceContext& ctx);
+
+/// The GEMM half of QuantizedLinearInto over a pre-quantized activation.
+/// Same contract: out is fully overwritten, bias may be null.
+void QuantizedGemmInto(const QuantizedActivation& act,
+                       const QuantizedWeight& qw, const Tensor* bias,
+                       Tensor& out);
+
+}  // namespace dquag
+
+#endif  // DQUAG_ENGINE_QUANTIZED_LINEAR_H_

@@ -1,6 +1,7 @@
 #include "gnn/gat_layer.h"
 
 #include "autograd/ops.h"
+#include "engine/quantized_linear.h"
 #include "nn/init.h"
 
 namespace dquag {
@@ -45,6 +46,7 @@ GatLayer::GatLayer(const FeatureGraph& graph, int64_t in_dim, int64_t out_dim,
         "attn_src" + suffix, XavierUniform(head_dim_, 1, rng)));
     attn_dst_.push_back(RegisterParameter(
         "attn_dst" + suffix, XavierUniform(head_dim_, 1, rng)));
+    head_qcaches_.push_back(std::make_unique<QuantizedWeightCache>());
   }
   bias_ = RegisterParameter("bias", Tensor::Zeros({out_dim_}));
 }
@@ -111,10 +113,25 @@ Tensor& GatLayer::InferForward(const Tensor& node_features,
   BroadcastRowInto(bias_->value(), out);
   Shape proj_shape = batched ? Shape{batch, num_nodes_, head_dim_}
                              : Shape{num_nodes_, head_dim_};
+  // Every head projects the same node_features, so the int8 path quantizes
+  // the activation once here and reuses it across heads (the quantize pass
+  // costs as much as a head's GEMM at these shapes).
+  QuantizedActivation qact;
+  if (ctx.quantized()) {
+    qact = QuantizeActivation(node_features, in_dim_, ctx);
+  }
   for (int64_t k = 0; k < num_heads_; ++k) {
     const size_t ki = static_cast<size_t>(k);
     Tensor& projected = ctx.Acquire(proj_shape);
-    LinearInto(node_features, head_weights_[ki]->value(), nullptr, projected);
+    if (ctx.quantized()) {
+      QuantizedGemmInto(qact,
+                        head_qcaches_[ki]->GetOrDerive(
+                            head_weights_[ki]->value()),
+                        nullptr, projected);
+    } else {
+      LinearInto(node_features, head_weights_[ki]->value(), nullptr,
+                 projected);
+    }
     Tensor& logit_src = ctx.Acquire({batch, num_nodes_});
     Tensor& logit_dst = ctx.Acquire({batch, num_nodes_});
     DualMatVecInto(projected, attn_src_[ki]->value(), attn_dst_[ki]->value(),
@@ -126,6 +143,13 @@ Tensor& GatLayer::InferForward(const Tensor& node_features,
                             /*col_offset=*/k * head_dim_);
   }
   return out;
+}
+
+void GatLayer::CollectQuantizedSlots(std::vector<QuantizedSlot>& out) const {
+  for (int64_t k = 0; k < num_heads_; ++k) {
+    const size_t ki = static_cast<size_t>(k);
+    out.push_back({&head_weights_[ki]->value(), head_qcaches_[ki].get()});
+  }
 }
 
 }  // namespace dquag

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "gnn/layer.h"
+#include "tensor/quantized.h"
 #include "util/rng.h"
 
 namespace dquag {
@@ -73,6 +74,8 @@ class GatLayer : public GnnLayer {
   const std::vector<int32_t>& arc_src() const { return src_; }
   const std::vector<int32_t>& arc_dst() const { return dst_; }
 
+  void CollectQuantizedSlots(std::vector<QuantizedSlot>& out) const override;
+
  private:
   int64_t in_dim_;
   int64_t out_dim_;
@@ -90,6 +93,8 @@ class GatLayer : public GnnLayer {
   std::vector<VarPtr> attn_src_;       // [head_dim, 1] per head
   std::vector<VarPtr> attn_dst_;       // [head_dim, 1] per head
   VarPtr bias_;                        // [out]
+  // Per-head int8 caches (unique_ptr: the cache is non-movable).
+  std::vector<std::unique_ptr<QuantizedWeightCache>> head_qcaches_;
 };
 
 }  // namespace dquag

@@ -1,6 +1,7 @@
 #include "gnn/gcn_layer.h"
 
 #include "autograd/ops.h"
+#include "engine/quantized_linear.h"
 #include "nn/init.h"
 
 namespace dquag {
@@ -53,13 +54,22 @@ Tensor& GcnLayer::InferForward(const Tensor& node_features,
   Shape shape = node_features.shape();
   shape.back() = out_dim_;
   Tensor& transformed = ctx.Acquire(shape);
-  LinearInto(node_features, weight_->value(), nullptr, transformed);
+  if (ctx.quantized()) {
+    QuantizedLinearInto(node_features, qcache_.GetOrDerive(weight_->value()),
+                        nullptr, ctx, transformed);
+  } else {
+    LinearInto(node_features, weight_->value(), nullptr, transformed);
+  }
   Tensor& out = ctx.Acquire(std::move(shape));
   // Seed with the bias, then accumulate the normalized messages in a single
   // fused pass (no [B, E, out] intermediate).
   BroadcastRowInto(bias_->value(), out);
   GatherScaleScatterAddInto(transformed, src_, dst_, norm_.data(), out);
   return out;
+}
+
+void GcnLayer::CollectQuantizedSlots(std::vector<QuantizedSlot>& out) const {
+  out.push_back({&weight_->value(), &qcache_});
 }
 
 }  // namespace dquag

@@ -1,6 +1,7 @@
 #include "nn/linear.h"
 
 #include "autograd/ops.h"
+#include "engine/quantized_linear.h"
 #include "nn/init.h"
 
 namespace dquag {
@@ -27,8 +28,17 @@ Tensor& Linear::InferForward(const Tensor& x, InferenceContext& ctx) const {
   Shape out_shape = x.shape();
   out_shape.back() = out_features_;
   Tensor& out = ctx.Acquire(std::move(out_shape));
-  LinearInto(x, weight_->value(), bias_ ? &bias_->value() : nullptr, out);
+  if (ctx.quantized()) {
+    QuantizedLinearInto(x, qcache_.GetOrDerive(weight_->value()),
+                        bias_ ? &bias_->value() : nullptr, ctx, out);
+  } else {
+    LinearInto(x, weight_->value(), bias_ ? &bias_->value() : nullptr, out);
+  }
   return out;
+}
+
+void Linear::CollectQuantizedSlots(std::vector<QuantizedSlot>& out) const {
+  out.push_back({&weight_->value(), &qcache_});
 }
 
 Mlp::Mlp(const std::vector<int64_t>& layer_sizes, Activation activation,

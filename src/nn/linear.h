@@ -8,6 +8,7 @@
 
 #include "engine/inference_context.h"
 #include "nn/module.h"
+#include "tensor/quantized.h"
 #include "util/rng.h"
 
 namespace dquag {
@@ -27,11 +28,14 @@ class Linear : public Module {
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
 
+  void CollectQuantizedSlots(std::vector<QuantizedSlot>& out) const override;
+
  private:
   int64_t in_features_;
   int64_t out_features_;
   VarPtr weight_;  // [in, out]
   VarPtr bias_;    // [out] or null
+  QuantizedWeightCache qcache_;
 };
 
 /// Stack of Linear layers with a shared activation between them (none after

@@ -4,6 +4,7 @@
 
 #include "autograd/ops.h"
 #include "tensor/fast_math.h"
+#include "tensor/simd.h"
 
 namespace dquag {
 
@@ -34,12 +35,9 @@ void ApplyActivationInPlace(Tensor& t, Activation act) {
       for (int64_t i = 0; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.2f * p[i];
       break;
     case Activation::kElu:
-      // Same FastExpf as the tensor-op Elu so tape and engine agree. The
-      // unconditional exp keeps the loop branch-free (SIMD blend).
-      for (int64_t i = 0; i < n; ++i) {
-        const float e = FastExpf(p[i]) - 1.0f;
-        p[i] = p[i] > 0.0f ? p[i] : e;
-      }
+      // Dispatched ELU kernel (FastExpf inside, same as the tensor-op Elu
+      // so tape and engine agree; alpha = 1 multiplies exactly).
+      simd::ActiveKernels().elu(p, p, n, 1.0f);
       break;
     case Activation::kSigmoid:
       for (int64_t i = 0; i < n; ++i) p[i] = 1.0f / (1.0f + std::exp(-p[i]));
@@ -68,6 +66,10 @@ int64_t Module::NumParameters() const {
   int64_t total = 0;
   for (const VarPtr& p : Parameters()) total += p->value().numel();
   return total;
+}
+
+void Module::CollectQuantizedSlots(std::vector<QuantizedSlot>& out) const {
+  for (const Module* child : children_) child->CollectQuantizedSlots(out);
 }
 
 void Module::CopyParametersFrom(const Module& other) {

@@ -14,8 +14,11 @@ ModelRegistry::ModelRegistry(ModelRegistryOptions options)
 }
 
 StatusOr<std::shared_ptr<const ValidationService>>
-ModelRegistry::LoadService(const std::string& path) const {
-  auto service = ValidationService::FromCheckpoint(path, options_.service);
+ModelRegistry::LoadService(const std::string& path,
+                           const DeployOptions& deploy) const {
+  ValidationServiceOptions svc = options_.service;
+  if (deploy.quantized) svc.quantized = true;
+  auto service = ValidationService::FromCheckpoint(path, svc);
   if (!service.ok()) return service.status();
   return std::shared_ptr<const ValidationService>(std::move(*service));
 }
@@ -46,6 +49,12 @@ void ModelRegistry::InstallAndEvict(
 
 Status ModelRegistry::Deploy(const std::string& tenant,
                              const std::string& checkpoint_path) {
+  return Deploy(tenant, checkpoint_path, DeployOptions{});
+}
+
+Status ModelRegistry::Deploy(const std::string& tenant,
+                             const std::string& checkpoint_path,
+                             const DeployOptions& deploy) {
   if (tenant.empty()) {
     return Status::InvalidArgument("tenant key must be non-empty");
   }
@@ -60,6 +69,8 @@ Status ModelRegistry::Deploy(const std::string& tenant,
     if (!resident) {
       // Lazy path: record where the model lives; the first Acquire loads.
       entry->path = checkpoint_path;
+      entry->deploy = deploy;
+      ++entry->deploy_seq;
       return Status::Ok();
     }
   }
@@ -67,11 +78,13 @@ Status ModelRegistry::Deploy(const std::string& tenant,
   // old model serves every request until the replacement is ready, and a
   // failed load changes nothing. load_mutex keeps lazy loaders out.
   std::lock_guard<std::mutex> load_lock(entry->load_mutex);
-  auto service = LoadService(checkpoint_path);
+  auto service = LoadService(checkpoint_path, deploy);
   if (!service.ok()) return service.status();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     entry->path = checkpoint_path;
+    entry->deploy = deploy;
+    ++entry->deploy_seq;
     entry->counters.RecordLoad();
     entry->counters.RecordSwap();
     InstallAndEvict(entry, std::move(*service));
@@ -100,6 +113,8 @@ StatusOr<std::shared_ptr<const ValidationService>> ModelRegistry::Acquire(
   std::lock_guard<std::mutex> load_lock(entry->load_mutex);
   for (;;) {
     std::string path;
+    DeployOptions deploy;
+    uint64_t seq = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (entry->service != nullptr) {
@@ -107,11 +122,13 @@ StatusOr<std::shared_ptr<const ValidationService>> ModelRegistry::Acquire(
         return entry->service;
       }
       path = entry->path;
+      deploy = entry->deploy;
+      seq = entry->deploy_seq;
     }
-    auto service = LoadService(path);
+    auto service = LoadService(path, deploy);
     if (!service.ok()) return service.status();
     std::lock_guard<std::mutex> lock(mutex_);
-    if (entry->path != path) continue;  // re-deployed mid-load; reload
+    if (entry->deploy_seq != seq) continue;  // re-deployed mid-load; reload
     entry->counters.RecordLoad();
     InstallAndEvict(entry, std::move(*service));
     return entry->service;

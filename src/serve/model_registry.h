@@ -38,6 +38,13 @@
 
 namespace dquag {
 
+/// Per-deployment knobs carried alongside the checkpoint path.
+struct DeployOptions {
+  /// Serve this tenant's validation on the int8 quantized engine (see
+  /// ValidationMode); the margin re-check keeps verdicts float-faithful.
+  bool quantized = false;
+};
+
 struct ModelRegistryOptions {
   /// Resident-set bound: services loaded at once across all tenants.
   int64_t max_resident = 4;
@@ -61,6 +68,10 @@ class ModelRegistry {
   /// serving and the error is returned.
   Status Deploy(const std::string& tenant,
                 const std::string& checkpoint_path);
+
+  /// Deploy with per-tenant serving options (e.g. quantized inference).
+  Status Deploy(const std::string& tenant, const std::string& checkpoint_path,
+                const DeployOptions& deploy);
 
   /// Returns the tenant's live service, lazily loading it (and evicting
   /// the LRU resident if over budget). The returned shared_ptr keeps the
@@ -128,7 +139,9 @@ class ModelRegistry {
 
  private:
   struct Entry {
-    std::string path;  // guarded by ModelRegistry::mutex_
+    std::string path;       // guarded by ModelRegistry::mutex_
+    DeployOptions deploy;   // guarded by mutex_
+    uint64_t deploy_seq = 0;  // bumped per Deploy; guards lazy-load races
     std::shared_ptr<const ValidationService> service;  // guarded by mutex_
     uint64_t last_used = 0;                            // guarded by mutex_
     std::mutex load_mutex;  // serializes lazy loads; never held with mutex_
@@ -136,9 +149,10 @@ class ModelRegistry {
     TenantCounters counters;
   };
 
-  /// Loads `path` into a service (no registry lock held).
+  /// Loads `path` into a service (no registry lock held), applying the
+  /// deployment's per-tenant options on top of the registry-wide ones.
   StatusOr<std::shared_ptr<const ValidationService>> LoadService(
-      const std::string& path) const;
+      const std::string& path, const DeployOptions& deploy) const;
 
   /// Installs `service` for `entry` under mutex_, touches the LRU clock and
   /// evicts the least-recently-used other resident entry while over budget.

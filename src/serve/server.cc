@@ -356,7 +356,29 @@ WireResponse ServeDaemon::HandleDeploy(const WireRequest& request) {
     return ErrorResponse(request.request_id, WireCode::kBadRequest,
                          "deploy body must be a checkpoint path");
   }
-  const Status status = registry_.Deploy(request.tenant, request.body);
+  // Body: checkpoint path, optionally followed by newline-separated
+  // options ("quantized=1"). A bare path is the pre-options wire form.
+  std::string path = request.body;
+  DeployOptions deploy;
+  const size_t newline = path.find('\n');
+  if (newline != std::string::npos) {
+    std::string rest = path.substr(newline + 1);
+    path.resize(newline);
+    while (!rest.empty()) {
+      const size_t next = rest.find('\n');
+      const std::string option = rest.substr(0, next);
+      rest = next == std::string::npos ? "" : rest.substr(next + 1);
+      if (option == "quantized=1") {
+        deploy.quantized = true;
+      } else if (option == "quantized=0" || option.empty()) {
+        // accepted no-ops
+      } else {
+        return ErrorResponse(request.request_id, WireCode::kBadRequest,
+                             "unknown deploy option: " + option);
+      }
+    }
+  }
+  const Status status = registry_.Deploy(request.tenant, path, deploy);
   if (!status.ok()) {
     const WireCode code = status.code() == StatusCode::kInvalidArgument
                               ? WireCode::kBadRequest

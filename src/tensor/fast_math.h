@@ -44,20 +44,33 @@ inline float FusedMulAdd(float a, float b, float acc) {
 /// floor + int-cast, which GCC refuses to vectorize.
 inline float FastExpf(float x) {
   constexpr float kMagic = 12582912.0f;  // 1.5 * 2^23
+  constexpr float kInvLn2 = 1.44269504088896341f;
   x = std::min(88.0f, std::max(-87.0f, x));
-  const float z = x * 1.44269504088896341f;  // x / ln 2
-  const float zr = z + kMagic;               // round(z) in the low mantissa
+  // Range reduction with EXPLICIT fused steps. Writing it as the textbook
+  // z = x/ln2; zr = z + magic; f = z - (zr - magic) leaves two mul+add
+  // pairs the compiler is free to contract (and under -ffp-contract=fast
+  // it does contract the vector-intrinsic clone while leaving this scalar
+  // uncontracted — a one-ULP divergence at the clamp boundary). Spelling
+  // the fusion out makes scalar and vector the same sequence by
+  // construction, independent of contraction flags.
+  const float zr = FusedMulAdd(x, kInvLn2, kMagic);  // round(x/ln2) in
+                                                     // the low mantissa
   const int32_t n =
       std::bit_cast<int32_t>(zr) - std::bit_cast<int32_t>(kMagic);
+  const float t = zr - kMagic;  // n as a float, exactly
   const float f =
-      (z - (zr - kMagic)) * 0.693147180559945309f;  // remainder in ln-space
-  float p = 1.0f / 720.0f;                          // Taylor for e^f
-  p = p * f + 1.0f / 120.0f;
-  p = p * f + 1.0f / 24.0f;
-  p = p * f + 1.0f / 6.0f;
-  p = p * f + 0.5f;
-  p = p * f + 1.0f;
-  p = p * f + 1.0f;
+      FusedMulAdd(x, kInvLn2, -t) * 0.693147180559945309f;  // ln-space
+  // Explicit FMA per Horner step (not `p * f + c`, which the compiler may
+  // or may not contract): the SIMD tables (tensor/simd.h) carry a lane-wise
+  // vector clone of this function, and each step must be one rounding in
+  // both so scalar and vector results match bit-for-bit.
+  float p = 1.0f / 720.0f;  // Taylor for e^f
+  p = FusedMulAdd(p, f, 1.0f / 120.0f);
+  p = FusedMulAdd(p, f, 1.0f / 24.0f);
+  p = FusedMulAdd(p, f, 1.0f / 6.0f);
+  p = FusedMulAdd(p, f, 0.5f);
+  p = FusedMulAdd(p, f, 1.0f);
+  p = FusedMulAdd(p, f, 1.0f);
   const float scale = std::bit_cast<float>((n + 127) << 23);  // 2^n
   return p * scale;
 }

@@ -1,0 +1,86 @@
+#include "tensor/quantized.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dquag {
+
+QuantizedWeight QuantizeWeight(const Tensor& w) {
+  DQUAG_CHECK_EQ(w.ndim(), 2);
+  QuantizedWeight qw;
+  qw.in = w.dim(0);
+  qw.out = w.dim(1);
+  qw.scales.resize(static_cast<size_t>(qw.out));
+  qw.data.resize(static_cast<size_t>(qw.in * qw.out));
+  const float* pw = w.data();
+  for (int64_t c = 0; c < qw.out; ++c) {
+    float maxabs = 0.0f;
+    for (int64_t j = 0; j < qw.in; ++j) {
+      maxabs = std::max(maxabs, std::fabs(pw[j * qw.out + c]));
+    }
+    if (maxabs == 0.0f) {
+      qw.scales[static_cast<size_t>(c)] = 0.0f;
+      for (int64_t j = 0; j < qw.in; ++j) {
+        qw.data[static_cast<size_t>(j * qw.out + c)] = 0;
+      }
+      continue;
+    }
+    const float scale = maxabs / 127.0f;
+    const float inv = 127.0f / maxabs;
+    qw.scales[static_cast<size_t>(c)] = scale;
+    for (int64_t j = 0; j < qw.in; ++j) {
+      int32_t v =
+          static_cast<int32_t>(std::lrintf(pw[j * qw.out + c] * inv));
+      v = std::min(127, std::max(-127, v));
+      qw.data[static_cast<size_t>(j * qw.out + c)] = static_cast<int8_t>(v);
+    }
+  }
+  return qw;
+}
+
+void PackQuantizedWeight(QuantizedWeight& qw) {
+  const int64_t pairs = qw.in_padded() / 2;
+  qw.packed.assign(static_cast<size_t>(pairs * qw.out * 2), 0);
+  for (int64_t p = 0; p < pairs; ++p) {
+    const int64_t j0 = 2 * p;
+    const int64_t j1 = 2 * p + 1;
+    for (int64_t c = 0; c < qw.out; ++c) {
+      int16_t* slot = qw.packed.data() + (p * qw.out + c) * 2;
+      slot[0] = qw.data[static_cast<size_t>(j0 * qw.out + c)];
+      slot[1] = j1 < qw.in ? qw.data[static_cast<size_t>(j1 * qw.out + c)]
+                           : int16_t{0};
+    }
+  }
+}
+
+const QuantizedWeight& QuantizedWeightCache::GetOrDerive(
+    const Tensor& w) const {
+  std::call_once(once_, [&] {
+    q_ = QuantizeWeight(w);
+    PackQuantizedWeight(q_);
+    populated_.store(true, std::memory_order_release);
+  });
+  DQUAG_CHECK_EQ(q_.in, w.dim(0));
+  DQUAG_CHECK_EQ(q_.out, w.dim(1));
+  return q_;
+}
+
+bool QuantizedWeightCache::Install(QuantizedWeight qw) const {
+  bool installed = false;
+  std::call_once(once_, [&] {
+    q_ = std::move(qw);
+    if (q_.packed.empty()) PackQuantizedWeight(q_);
+    populated_.store(true, std::memory_order_release);
+    installed = true;
+  });
+  return installed;
+}
+
+bool QuantizedWeightCache::populated() const {
+  return populated_.load(std::memory_order_acquire);
+}
+
+}  // namespace dquag

@@ -1,0 +1,82 @@
+// int8 weight quantization for the deployment inference engine.
+//
+// Scheme: w8a8 with symmetric per-output-channel weight scales and dynamic
+// symmetric per-row activation scales.
+//
+//   * Weights [in, out] quantize offline (at checkpoint-save time, or
+//     lazily on first quantized inference): for each output channel c,
+//     scale_w[c] = maxabs(W[:, c]) / 127 and
+//     Wq[j][c]   = clamp(rint(W[j][c] / scale_w[c]), -127, 127).
+//     Derivation is deterministic scalar code, so a checkpoint-stored
+//     section and a lazily derived one are byte-identical.
+//   * Activations quantize per row on the fly inside the engine
+//     (SimdKernelTable::quantize_rows), giving each batch row its own
+//     scale — robust to the heavy-tailed activation ranges a trained
+//     encoder produces, and row-position independent (streaming contract).
+//   * The GEMM accumulates in int32 (exact: |acc| <= k * 127^2) and
+//     requantizes with one FMA per output: out = acc * (scale_x * scale_w)
+//     + bias. See SimdKernelTable::qgemm.
+//
+// The `packed` layout interleaves k-pairs — packed[(p*out + c)*2 + {0,1}] =
+// (Wq[2p][c], Wq[2p+1][c]) as int16, odd k zero-padded — so an AVX2 lane
+// can retire two k-steps per vpmaddwd without any shuffle on the weight
+// side. Values are |.| <= 127, so the int16 madd cannot saturate.
+
+#ifndef DQUAG_TENSOR_QUANTIZED_H_
+#define DQUAG_TENSOR_QUANTIZED_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dquag {
+
+/// A quantized [in, out] weight matrix plus its packed form.
+struct QuantizedWeight {
+  int64_t in = 0;
+  int64_t out = 0;
+  std::vector<float> scales;    // [out] per-output-channel symmetric scales
+  std::vector<int8_t> data;     // [in, out] row-major quantized values
+  std::vector<int16_t> packed;  // [ceil(in/2)][out][2] interleaved k-pairs
+
+  int64_t in_padded() const { return (in + 1) & ~int64_t{1}; }
+};
+
+/// Derives scales + int8 values from a float [in, out] weight tensor.
+/// Deterministic (scalar rint/clamp), so every caller agrees bitwise.
+/// Does not build `packed`; call PackQuantizedWeight after.
+QuantizedWeight QuantizeWeight(const Tensor& w);
+
+/// Builds the interleaved k-pair layout from `data`.
+void PackQuantizedWeight(QuantizedWeight& qw);
+
+/// Thread-safe once-per-weight holder. Either Install() a checkpoint-loaded
+/// QuantizedWeight before serving, or let the first quantized inference
+/// derive it from the float weight — both produce identical bytes.
+class QuantizedWeightCache {
+ public:
+  QuantizedWeightCache() = default;
+  QuantizedWeightCache(const QuantizedWeightCache&) = delete;
+  QuantizedWeightCache& operator=(const QuantizedWeightCache&) = delete;
+
+  /// Returns the quantized form of `w`, deriving it on first call.
+  const QuantizedWeight& GetOrDerive(const Tensor& w) const;
+
+  /// Installs a pre-built weight (checkpoint load). No-op if the cache was
+  /// already populated; returns whether this call installed it.
+  bool Install(QuantizedWeight qw) const;
+
+  bool populated() const;
+
+ private:
+  mutable std::once_flag once_;
+  mutable QuantizedWeight q_;
+  mutable std::atomic<bool> populated_{false};
+};
+
+}  // namespace dquag
+
+#endif  // DQUAG_TENSOR_QUANTIZED_H_

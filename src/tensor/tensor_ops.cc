@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "tensor/fast_math.h"
+#include "tensor/simd.h"
 #include "util/thread_pool.h"
 
 namespace dquag {
@@ -277,11 +278,14 @@ Tensor LeakyRelu(const Tensor& a, float negative_slope) {
   });
 }
 Tensor Elu(const Tensor& a, float alpha) {
-  // Unconditional exp keeps the loop branch-free so it vectorizes.
-  return UnaryOp(a, [alpha](float x) {
-    const float e = alpha * (FastExpf(x) - 1.0f);
-    return x > 0.0f ? x : e;
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const auto& kt = simd::ActiveKernels();
+  ForEachFlat(a.numel(), [&](int64_t lo, int64_t hi) {
+    kt.elu(pa + lo, po + lo, hi - lo, alpha);
   });
+  return out;
 }
 Tensor Sigmoid(const Tensor& a) {
   return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
@@ -296,127 +300,27 @@ Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
 
 namespace {
 
+// The GEMM micro-kernels (register-tiled 4x16 forward kernel, transposed
+// accumulators for the backward pass) now live behind the runtime-dispatched
+// SIMD kernel table — see tensor/simd.h for the bit-identity contract that
+// replaces the FusedMulAdd discipline the local kernels used to carry.
+
 /// C[m,n] += A[m,k] * B[k,n] over raw pointers (row-major).
-void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
-                  int64_t k, int64_t n) {
-  if (n == 1) {
-    // Matrix-vector: contiguous dot products (the attention-logit shape).
-    for (int64_t i = 0; i < m; ++i) {
-      const float* arow = a + i * k;
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        acc = FusedMulAdd(arow[kk], b[kk], acc);
-      }
-      c[i] += acc;
-    }
-    return;
-  }
-  // Register-tiled 4x16 micro-kernel: four A rows against a 16-column C
-  // tile, accumulated across the whole k loop in fixed-size locals the
-  // compiler keeps in vector registers (explicit scalars — arrays of
-  // pointers defeat the register allocator). Each B element is loaded once
-  // per four rows, and C rows are touched once per tile instead of once
-  // per kk step, so the kernel stops being bound on B/C traffic.
-  // Per-element summation order (kk ascending) matches the remainder
-  // loops, and every path accumulates through FusedMulAdd so the tile,
-  // column-remainder and row-remainder paths produce identical bits — a
-  // row's result must not depend on its position within the batch
-  // (streaming validation chunks batches arbitrarily).
-  constexpr int kTile = 16;
-  int64_t i = 0;
-  for (; i + 4 <= m; i += 4) {
-    const float* a0 = a + (i + 0) * k;
-    const float* a1 = a + (i + 1) * k;
-    const float* a2 = a + (i + 2) * k;
-    const float* a3 = a + (i + 3) * k;
-    float* c0 = c + (i + 0) * n;
-    float* c1 = c + (i + 1) * n;
-    float* c2 = c + (i + 2) * n;
-    float* c3 = c + (i + 3) * n;
-    int64_t jj = 0;
-    for (; jj + kTile <= n; jj += kTile) {
-      float t0[kTile], t1[kTile], t2[kTile], t3[kTile];
-      for (int q = 0; q < kTile; ++q) {
-        t0[q] = c0[jj + q];
-        t1[q] = c1[jj + q];
-        t2[q] = c2[jj + q];
-        t3[q] = c3[jj + q];
-      }
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float a0k = a0[kk];
-        const float a1k = a1[kk];
-        const float a2k = a2[kk];
-        const float a3k = a3[kk];
-        const float* brow = b + kk * n + jj;
-        for (int q = 0; q < kTile; ++q) {
-          const float bq = brow[q];
-          t0[q] = FusedMulAdd(a0k, bq, t0[q]);
-          t1[q] = FusedMulAdd(a1k, bq, t1[q]);
-          t2[q] = FusedMulAdd(a2k, bq, t2[q]);
-          t3[q] = FusedMulAdd(a3k, bq, t3[q]);
-        }
-      }
-      for (int q = 0; q < kTile; ++q) {
-        c0[jj + q] = t0[q];
-        c1[jj + q] = t1[q];
-        c2[jj + q] = t2[q];
-        c3[jj + q] = t3[q];
-      }
-    }
-    for (; jj < n; ++jj) {  // column remainder
-      float t0 = c0[jj], t1 = c1[jj], t2 = c2[jj], t3 = c3[jj];
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float bj = b[kk * n + jj];
-        t0 = FusedMulAdd(a0[kk], bj, t0);
-        t1 = FusedMulAdd(a1[kk], bj, t1);
-        t2 = FusedMulAdd(a2[kk], bj, t2);
-        t3 = FusedMulAdd(a3[kk], bj, t3);
-      }
-      c0[jj] = t0;
-      c1[jj] = t1;
-      c2[jj] = t2;
-      c3[jj] = t3;
-    }
-  }
-  for (; i < m; ++i) {  // row remainder
-    float* crow = c + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = a[i * k + kk];
-      const float* brow = b + kk * n;
-      for (int64_t j = 0; j < n; ++j) {
-        crow[j] = FusedMulAdd(aik, brow[j], crow[j]);
-      }
-    }
-  }
+inline void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
+                         int64_t k, int64_t n) {
+  simd::ActiveKernels().matmul(a, b, c, m, k, n);
 }
 
 /// C[k,n] += sum_i A[i,k-th col] * B[i,:]  (A^T B, outer-product order).
-void MatMulTransAKernel(const float* a, const float* b, float* c, int64_t m,
-                        int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    const float* brow = b + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = arow[kk];
-      float* crow = c + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+inline void MatMulTransAKernel(const float* a, const float* b, float* c,
+                               int64_t m, int64_t k, int64_t n) {
+  simd::ActiveKernels().matmul_trans_a(a, b, c, m, k, n);
 }
 
 /// C[m,k] += A[m,n] * B^T where B is [k,n]: rows of A dot rows of B.
-void MatMulTransBKernel(const float* a, const float* b, float* c, int64_t m,
-                        int64_t n, int64_t k) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * n;
-    float* crow = c + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float* brow = b + kk * n;
-      float acc = 0.0f;
-      for (int64_t j = 0; j < n; ++j) acc += arow[j] * brow[j];
-      crow[kk] += acc;
-    }
-  }
+inline void MatMulTransBKernel(const float* a, const float* b, float* c,
+                               int64_t m, int64_t n, int64_t k) {
+  simd::ActiveKernels().matmul_trans_b(a, b, c, m, n, k);
 }
 
 /// Elements below which batch-axis kernels run serially — the thread-pool
@@ -908,22 +812,8 @@ void DualMatVecInto(const Tensor& x, const Tensor& w1, const Tensor& w2,
   const int64_t rows = x.numel() / k;
   DQUAG_CHECK_EQ(out1.numel(), rows);
   DQUAG_CHECK_EQ(out2.numel(), rows);
-  const float* px = x.data();
-  const float* pw1 = w1.data();
-  const float* pw2 = w2.data();
-  float* po1 = out1.data();
-  float* po2 = out2.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = px + r * k;
-    float acc1 = 0.0f;
-    float acc2 = 0.0f;
-    for (int64_t j = 0; j < k; ++j) {
-      acc1 += xr[j] * pw1[j];
-      acc2 += xr[j] * pw2[j];
-    }
-    po1[r] = acc1;
-    po2[r] = acc2;
-  }
+  simd::ActiveKernels().dual_matvec(x.data(), w1.data(), w2.data(),
+                                    out1.data(), out2.data(), rows, k);
 }
 
 void BroadcastRowInto(const Tensor& row, Tensor& out) {
@@ -1031,27 +921,10 @@ void SegmentSoftmaxCsrInPlace(Tensor& scores,
   const int64_t batch = num_entries == 0 ? 0 : scores.numel() / num_entries;
   const size_t num_segments = offsets.size() - 1;
   float* ps = scores.data();
+  const auto& kt = simd::ActiveKernels();
   auto kernel = [&](size_t b) {
-    float* row = ps + static_cast<int64_t>(b) * num_entries;
-    for (size_t s = 0; s < num_segments; ++s) {
-      const int64_t lo = offsets[s];
-      const int64_t hi = offsets[s + 1];
-      if (lo == hi) continue;
-      float seg_max = -std::numeric_limits<float>::infinity();
-      for (int64_t i = lo; i < hi; ++i) {
-        seg_max = std::max(seg_max, row[order[static_cast<size_t>(i)]]);
-      }
-      float seg_sum = 0.0f;
-      for (int64_t i = lo; i < hi; ++i) {
-        float& v = row[order[static_cast<size_t>(i)]];
-        v = std::exp(v - seg_max);
-        seg_sum += v;
-      }
-      const float inv = 1.0f / seg_sum;
-      for (int64_t i = lo; i < hi; ++i) {
-        row[order[static_cast<size_t>(i)]] *= inv;
-      }
-    }
+    kt.segment_softmax_csr(ps + static_cast<int64_t>(b) * num_entries,
+                           offsets.data(), num_segments, order.data());
   };
   if (scores.numel() < kParallelWorkThreshold) {
     for (int64_t b = 0; b < batch; ++b) kernel(static_cast<size_t>(b));
@@ -1110,20 +983,14 @@ void AttentionScatterAddInto(const Tensor& x, const Tensor& alpha,
 
 void AddScaledInto(const Tensor& x, float s, Tensor& out) {
   DQUAG_CHECK_EQ(x.numel(), out.numel());
-  const float* px = x.data();
-  float* po = out.data();
-  const int64_t n = out.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] += s * px[i];
+  simd::ActiveKernels().axpy(x.data(), s, out.data(), out.numel());
 }
 
 void AddProductInto(const Tensor& a, const Tensor& b, float s, Tensor& out) {
   DQUAG_CHECK_EQ(a.numel(), out.numel());
   DQUAG_CHECK_EQ(b.numel(), out.numel());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  const int64_t n = out.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] += s * pa[i] * pb[i];
+  simd::ActiveKernels().add_product(a.data(), b.data(), s, out.data(),
+                                    out.numel());
 }
 
 void BroadcastAddInto(const Tensor& g, Tensor& out) {

@@ -1,0 +1,149 @@
+// Accuracy and determinism pins for FastExpf (tensor/fast_math.h).
+//
+// FastExpf is the single transcendental on the inference hot path (ELU,
+// segment softmax), and the SIMD tables carry a lane-wise clone of it, so
+// two things are pinned here: its worst-case ULP error against libm's
+// double-precision exp over the full clamped input range, and bit-equality
+// between the scalar function, the scalar kernel table and the dispatched
+// vector table.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/fast_math.h"
+#include "tensor/simd.h"
+#include "util/rng.h"
+
+namespace dquag {
+namespace {
+
+uint32_t FloatBits(float x) {
+  uint32_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+float BitsToFloat(uint32_t u) {
+  float x;
+  std::memcpy(&x, &u, sizeof(x));
+  return x;
+}
+
+// ULP distance between two positive finite floats: for same-sign IEEE
+// values the integer distance of the bit patterns is exactly the number of
+// representable floats between them.
+int64_t UlpDistance(float a, float b) {
+  return std::abs(static_cast<int64_t>(FloatBits(a)) -
+                  static_cast<int64_t>(FloatBits(b)));
+}
+
+// Every 997th bit pattern across the full clamped domain [-87, 88]. The
+// prime stride hits every exponent byte and all mantissa phases — ~300k
+// probes per sign, including denormal inputs near zero.
+TEST(FastMathTest, MaxUlpVsLibmOverFullRange) {
+  constexpr uint32_t kStride = 997;
+  const uint32_t pos_end = FloatBits(88.0f);
+  const uint32_t neg_end = FloatBits(87.0f);
+  int64_t max_ulp = 0, max_ulp_moderate = 0;
+  float worst_x = 0.0f, worst_x_moderate = 0.0f;
+  auto probe = [&](float x) {
+    const float got = FastExpf(x);
+    const float want = static_cast<float>(std::exp(static_cast<double>(x)));
+    ASSERT_TRUE(std::isfinite(got)) << "x=" << x;
+    ASSERT_GT(got, 0.0f) << "x=" << x;
+    const int64_t ulp = UlpDistance(got, want);
+    if (ulp > max_ulp) {
+      max_ulp = ulp;
+      worst_x = x;
+    }
+    if (std::fabs(x) <= 10.0f && ulp > max_ulp_moderate) {
+      max_ulp_moderate = ulp;
+      worst_x_moderate = x;
+    }
+  };
+  probe(0.0f);
+  for (uint32_t bits = 1; bits <= pos_end; bits += kStride) {
+    probe(BitsToFloat(bits));
+  }
+  for (uint32_t bits = 1; bits <= neg_end; bits += kStride) {
+    probe(-BitsToFloat(bits));
+  }
+  // Two pins, both measured empirically. Over the moderate range that
+  // activations actually occupy (|x| <= 10), the degree-6 Taylor after
+  // reduction stays within 4 ULP of the correctly-rounded result. At the
+  // range extremes the single-constant reduction's ln2 truncation error is
+  // amplified by n (~127), costing up to ~20 ULP — inherent to the
+  // one-constant scheme, not a polynomial defect. Regressions here mean
+  // someone touched the polynomial or the reduction constants.
+  EXPECT_LE(max_ulp_moderate, 4) << "worst at x=" << worst_x_moderate;
+  EXPECT_LE(max_ulp, 24) << "worst at x=" << worst_x;
+}
+
+TEST(FastMathTest, EdgeCasesSaturateFinite) {
+  const float at_min = FastExpf(-87.0f);
+  const float at_max = FastExpf(88.0f);
+  EXPECT_GT(at_min, 0.0f);
+  EXPECT_TRUE(std::isfinite(at_max));
+
+  // Out-of-range inputs clamp to the boundary values, bit-for-bit.
+  EXPECT_EQ(FloatBits(FastExpf(-1000.0f)), FloatBits(at_min));
+  EXPECT_EQ(FloatBits(FastExpf(1000.0f)), FloatBits(at_max));
+  EXPECT_EQ(FloatBits(FastExpf(-std::numeric_limits<float>::infinity())),
+            FloatBits(at_min));
+  EXPECT_EQ(FloatBits(FastExpf(std::numeric_limits<float>::infinity())),
+            FloatBits(at_max));
+  // NaN falls out of both clamp comparisons onto the lower bound — a
+  // deliberate choice: the kernels must never emit NaN downstream.
+  EXPECT_EQ(FloatBits(FastExpf(std::numeric_limits<float>::quiet_NaN())),
+            FloatBits(at_min));
+
+  EXPECT_EQ(FloatBits(FastExpf(0.0f)), FloatBits(1.0f));
+  // Denormal inputs behave like zero to within the pinned accuracy.
+  const float denorm = std::numeric_limits<float>::denorm_min();
+  EXPECT_LE(UlpDistance(FastExpf(denorm), 1.0f), 4);
+}
+
+// The scalar kernel table's exp_inplace is FastExpf element-for-element,
+// and the dispatched table matches it bit-for-bit (the SIMD clone pins
+// every intermediate rounding). Sizes cross the vector width and tails.
+TEST(FastMathTest, KernelTablesMatchScalarFunctionBitwise) {
+  const simd::SimdKernelTable& scalar = simd::ScalarKernels();
+  const simd::SimdKernelTable& best = simd::BestSupportedKernels();
+  Rng rng(7);
+  for (int64_t n : {1, 7, 8, 9, 31, 64, 1000, 4096 + 5}) {
+    std::vector<float> x(static_cast<size_t>(n));
+    for (float& v : x) v = static_cast<float>(rng.Uniform(-90.0, 90.0));
+    if (n >= 8) {
+      x[0] = -87.0f;
+      x[1] = 88.0f;
+      x[2] = 0.0f;
+      x[3] = std::numeric_limits<float>::infinity();
+      x[4] = -std::numeric_limits<float>::infinity();
+      x[5] = std::numeric_limits<float>::quiet_NaN();
+      x[6] = std::numeric_limits<float>::denorm_min();
+      x[7] = -1e-20f;
+    }
+    std::vector<float> want = x;
+    for (float& v : want) v = FastExpf(v);
+
+    std::vector<float> got_scalar = x;
+    scalar.exp_inplace(got_scalar.data(), n);
+    EXPECT_EQ(0, std::memcmp(want.data(), got_scalar.data(),
+                             want.size() * sizeof(float)))
+        << "scalar table vs FastExpf, n=" << n;
+
+    std::vector<float> got_best = x;
+    best.exp_inplace(got_best.data(), n);
+    EXPECT_EQ(0, std::memcmp(want.data(), got_best.data(),
+                             want.size() * sizeof(float)))
+        << best.name << " table vs FastExpf, n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace dquag

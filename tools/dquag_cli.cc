@@ -8,6 +8,7 @@
 //   dquag validate  --model model.ckpt --data new.csv [--verbose]
 //                   [--micro-batch M] [--stream] [--chunk-rows N]
 //                   [--format csv|columnar]
+//                   [--quantized [--quantized-margin F]]  (int8 inference)
 //   dquag repair    --model model.ckpt --data new.csv --out repaired.csv
 //   dquag explain   --model model.ckpt --data new.csv --row K
 //   dquag serve-sim --model model.ckpt --data new.csv [--threads T]
@@ -16,8 +17,10 @@
 //   dquag serve     --port P [--host H] [--capacity N] [--max-inflight K]
 //                   [--max-connections C] [--micro-batch M]
 //                   [--deploy tenant=model.ckpt[,t2=m2.ckpt...]]
+//                     (append @quantized to a checkpoint for int8 serving)
 //                                                    (socket-backed daemon)
 //   dquag deploy    --port P --tenant T --checkpoint model.ckpt [--host H]
+//                   [--quantized]
 //   dquag stats     --port P [--tenant T] [--host H]
 //   dquag shutdown  --port P [--host H]
 //   dquag schema-template --data data.csv   (guess a schema from a CSV)
@@ -96,6 +99,11 @@ class Args {
     auto it = values_.find(key);
     return it == values_.end() ? fallback
                                : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
   }
 
  private:
@@ -262,6 +270,11 @@ StatusOr<std::unique_ptr<ValidationService>> LoadService(const Args& args) {
   }
   ValidationServiceOptions options;
   options.micro_batch_rows = args.GetInt("micro-batch", 512);
+  options.quantized = args.Has("quantized");
+  options.quantized_margin = args.GetDouble("quantized-margin", 0.25);
+  if (options.quantized_margin < 0.0) {
+    return Status::InvalidArgument("--quantized-margin must be >= 0");
+  }
   return ValidationService::FromCheckpoint(model_path, options);
 }
 
@@ -454,9 +467,16 @@ int CmdServeSim(const Args& args) {
 volatile std::sig_atomic_t g_interrupted = 0;
 void HandleSigint(int) { g_interrupted = 1; }
 
-/// Parses "tenant=path[,tenant=path...]" from --deploy.
+/// One --deploy entry: tenant, checkpoint path, serving options.
+struct DeploySpecEntry {
+  std::string tenant;
+  std::string path;
+  DeployOptions options;
+};
+
+/// Parses "tenant=path[@quantized][,tenant=path...]" from --deploy.
 Status ParseDeploySpec(const std::string& spec,
-                       std::vector<std::pair<std::string, std::string>>* out) {
+                       std::vector<DeploySpecEntry>* out) {
   size_t start = 0;
   while (start < spec.size()) {
     size_t comma = spec.find(',', start);
@@ -467,7 +487,20 @@ Status ParseDeploySpec(const std::string& spec,
       return Status::InvalidArgument(
           "--deploy expects tenant=checkpoint, got '" + entry + "'");
     }
-    out->emplace_back(entry.substr(0, eq), entry.substr(eq + 1));
+    DeploySpecEntry parsed;
+    parsed.tenant = entry.substr(0, eq);
+    parsed.path = entry.substr(eq + 1);
+    // Only a literal trailing "@quantized" is an option marker — an '@'
+    // anywhere else stays part of the path.
+    constexpr const char kQuantSuffix[] = "@quantized";
+    constexpr size_t kQuantSuffixLen = sizeof(kQuantSuffix) - 1;
+    if (parsed.path.size() > kQuantSuffixLen &&
+        parsed.path.compare(parsed.path.size() - kQuantSuffixLen,
+                            kQuantSuffixLen, kQuantSuffix) == 0) {
+      parsed.path.resize(parsed.path.size() - kQuantSuffixLen);
+      parsed.options.quantized = true;
+    }
+    out->push_back(std::move(parsed));
     start = comma + 1;
   }
   return Status::Ok();
@@ -483,7 +516,7 @@ int CmdServe(const Args& args) {
   options.registry.service.micro_batch_rows =
       args.GetInt("micro-batch", 512);
 
-  std::vector<std::pair<std::string, std::string>> deploys;
+  std::vector<DeploySpecEntry> deploys;
   if (args.Has("deploy")) {
     Status status = ParseDeploySpec(args.Get("deploy"), &deploys);
     if (!status.ok()) return Fail(status);
@@ -492,13 +525,16 @@ int CmdServe(const Args& args) {
   ServeDaemon daemon(options);
   Status status = daemon.Start();
   if (!status.ok()) return Fail(status);
-  for (const auto& [tenant, path] : deploys) {
-    status = daemon.registry().Deploy(tenant, path);
+  for (const DeploySpecEntry& deploy : deploys) {
+    status = daemon.registry().Deploy(deploy.tenant, deploy.path,
+                                      deploy.options);
     if (!status.ok()) {
       daemon.Stop();
       return Fail(status);
     }
-    std::printf("deployed %s <- %s (lazy)\n", tenant.c_str(), path.c_str());
+    std::printf("deployed %s <- %s (lazy%s)\n", deploy.tenant.c_str(),
+                deploy.path.c_str(),
+                deploy.options.quantized ? ", quantized" : "");
   }
   std::printf("dquag serve: listening on %s:%d (%zu tenants, capacity %lld,"
               " max-inflight %lld)\n",
@@ -540,9 +576,11 @@ int CmdDeploy(const Args& args) {
   }
   auto client = ConnectFromArgs(args);
   if (!client.ok()) return Fail(client.status());
-  Status status = client->Deploy(tenant, checkpoint);
+  const bool quantized = args.Has("quantized");
+  Status status = client->Deploy(tenant, checkpoint, quantized);
   if (!status.ok()) return Fail(status);
-  std::printf("deployed %s <- %s\n", tenant.c_str(), checkpoint.c_str());
+  std::printf("deployed %s <- %s%s\n", tenant.c_str(), checkpoint.c_str(),
+              quantized ? " (quantized)" : "");
   return 0;
 }
 
