@@ -27,9 +27,11 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "bench_util.h"
+#include "util/atomic_file.h"
 #include "data/columnar_reader.h"
 #include "data/columnar_writer.h"
 #include "data/error_injector.h"
@@ -243,7 +245,7 @@ int RunAll(const char* json_path) {
   }
 
   if (json_path != nullptr) {
-    std::ofstream out(json_path);
+    std::ostringstream out;
     out << "{\n"
         << "  \"rows\": " << rows << ",\n"
         << "  \"chunk_rows\": " << chunk_rows << ",\n"
@@ -268,6 +270,12 @@ int RunAll(const char* json_path) {
         << "  \"gate_min_speedup\": " << min_speedup << ",\n"
         << "  \"gate_passed\": " << (failed ? "false" : "true") << "\n"
         << "}\n";
+    const Status json_status = WriteFileAtomic(json_path, out.str());
+    if (!json_status.ok()) {
+      std::fprintf(stderr, "FAIL: writing %s: %s\n", json_path,
+                   json_status.ToString().c_str());
+      failed = true;
+    }
     std::printf("wrote %s\n", json_path);
   }
 

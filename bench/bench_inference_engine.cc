@@ -20,13 +20,14 @@
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "util/atomic_file.h"
 #include "core/validation_service.h"
 #include "data/generators.h"
 #include "engine/inference_context.h"
@@ -221,7 +222,7 @@ int RunAll(const char* json_path) {
   }
 
   if (json_path != nullptr) {
-    std::ofstream out(json_path);
+    std::ostringstream out;
     out << "{\n"
         << "  \"eval_rows\": " << eval_rows << ",\n"
         << "  \"kernel_table\": \"" << simd::ActiveKernels().name << "\",\n"
@@ -240,6 +241,12 @@ int RunAll(const char* json_path) {
         << "  \"quantized_flip_fraction\": " << flip_fraction << ",\n"
         << "  \"gates_passed\": " << (failed ? "false" : "true") << "\n"
         << "}\n";
+    const Status json_status = WriteFileAtomic(json_path, out.str());
+    if (!json_status.ok()) {
+      std::fprintf(stderr, "FAIL: writing %s: %s\n", json_path,
+                   json_status.ToString().c_str());
+      failed = true;
+    }
     std::printf("wrote %s\n", json_path);
   }
 

@@ -19,12 +19,13 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "util/atomic_file.h"
 #include "core/validation_service.h"
 #include "data/generators.h"
 #include "serve/client.h"
@@ -175,7 +176,7 @@ int RunAll(const char* json_path) {
   }
 
   if (json_path != nullptr) {
-    std::ofstream out(json_path);
+    std::ostringstream out;
     out << "{\n"
         << "  \"clients\": " << clients << ",\n"
         << "  \"tenants\": " << tenants << ",\n"
@@ -194,6 +195,12 @@ int RunAll(const char* json_path) {
         << "  \"failed\": " << failed.load() << ",\n"
         << "  \"parity\": " << (ok ? "true" : "false") << "\n"
         << "}\n";
+    const Status json_status = WriteFileAtomic(json_path, out.str());
+    if (!json_status.ok()) {
+      std::fprintf(stderr, "FAIL: writing %s: %s\n", json_path,
+                   json_status.ToString().c_str());
+      return 1;
+    }
     std::printf("wrote %s\n", json_path);
   }
   return ok ? 0 : 1;

@@ -21,10 +21,12 @@
 #include <fstream>
 #include <set>
 #include <vector>
+#include <sstream>
 #include <string>
 #include <thread>
 
 #include "bench_util.h"
+#include "util/atomic_file.h"
 #include "core/validation_service.h"
 #include "data/error_injector.h"
 #include "data/generators.h"
@@ -220,7 +222,7 @@ int RunAll(const char* json_path) {
   }
 
   if (json_path != nullptr) {
-    std::ofstream out(json_path);
+    std::ostringstream out;
     out << "{\n"
         << "  \"rows\": " << rows << ",\n"
         << "  \"chunk_rows\": " << chunk_rows << ",\n"
@@ -244,6 +246,12 @@ int RunAll(const char* json_path) {
         << "  \"peak_rss_kib\": " << PeakRssKib() << ",\n"
         << "  \"verdict_parity\": " << (failed ? "false" : "true") << "\n"
         << "}\n";
+    const Status json_status = WriteFileAtomic(json_path, out.str());
+    if (!json_status.ok()) {
+      std::fprintf(stderr, "FAIL: writing %s: %s\n", json_path,
+                   json_status.ToString().c_str());
+      failed = true;
+    }
     std::printf("wrote %s\n", json_path);
   }
 

@@ -18,11 +18,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 
 #include "bench_util.h"
+#include "util/atomic_file.h"
 #include "core/pipeline.h"
 #include "core/trainer.h"
 #include "data/generators.h"
@@ -120,7 +121,7 @@ int RunAll(const char* json_path) {
               speedup, max_loss_delta, threshold_delta);
 
   if (json_path != nullptr) {
-    std::ofstream out(json_path);
+    std::ostringstream out;
     out << "{\n"
         << "  \"rows\": " << rows << ",\n"
         << "  \"columns\": " << matrix.dim(1) << ",\n"
@@ -138,6 +139,12 @@ int RunAll(const char* json_path) {
         << "  \"max_epoch_loss_delta\": " << max_loss_delta << ",\n"
         << "  \"threshold_delta\": " << threshold_delta << "\n"
         << "}\n";
+    const Status json_status = WriteFileAtomic(json_path, out.str());
+    if (!json_status.ok()) {
+      std::fprintf(stderr, "FAIL: writing %s: %s\n", json_path,
+                   json_status.ToString().c_str());
+      return 1;
+    }
     std::printf("wrote %s\n", json_path);
   }
 

@@ -1,0 +1,28 @@
+// libFuzzer entry point for the checkpoint reader.
+//
+// Feeds arbitrary bytes straight into DquagPipeline::LoadFromBuffer — the
+// same decoder Load() uses after reading a file — asserting the hardening
+// contract from core/serialization.cc: no input may crash, abort, or
+// trigger a hostile allocation; every malformed buffer must resolve to a
+// Status. Build with -DDQUAG_BUILD_FUZZERS=ON under Clang
+// (-fsanitize=fuzzer,address) and seed the corpus with
+// dquag_fuzz_seed_corpus, which writes real checkpoints from tiny fitted
+// pipelines (the same corpus construction as tests/checkpoint_fuzz_test.cc):
+//
+//   ./fuzz/dquag_fuzz_seed_corpus corpus/
+//   ./fuzz/dquag_fuzz_checkpoint_load corpus/
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/pipeline.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string buffer(reinterpret_cast<const char*>(data), size);
+  auto pipeline = dquag::DquagPipeline::LoadFromBuffer(std::move(buffer));
+  // A decoded pipeline and every error code are equally fine; the only
+  // failure mode is not returning.
+  (void)pipeline;
+  return 0;
+}

@@ -66,6 +66,12 @@ class DquagPipeline {
   /// identically to the original.
   static StatusOr<DquagPipeline> Load(const std::string& path);
 
+  /// Load() minus the file read: decodes a checkpoint already in memory.
+  /// Every length prefix is bounds-checked against the buffer, so
+  /// arbitrary bytes fail with a Status — this is the libFuzzer entry
+  /// point (fuzz/fuzz_checkpoint_load.cc) as well as Load()'s core.
+  static StatusOr<DquagPipeline> LoadFromBuffer(std::string buffer);
+
   bool fitted() const { return model_ != nullptr; }
   const FeatureGraph& graph() const;
   const TrainingReport& training_report() const;

@@ -198,11 +198,21 @@ Status DquagPipeline::Save(const std::string& path) const {
 StatusOr<DquagPipeline> DquagPipeline::Load(const std::string& path) {
   auto reader_or = BinaryReader::FromFile(path);
   if (!reader_or.ok()) return reader_or.status();
-  BinaryReader r = std::move(reader_or).value();
+  auto pipeline = LoadFromBuffer(std::move(reader_or).value().TakeBuffer());
+  if (!pipeline.ok() &&
+      pipeline.status().code() == StatusCode::kInvalidArgument) {
+    return Status::InvalidArgument(pipeline.status().message() + " (" +
+                                   path + ")");
+  }
+  return pipeline;
+}
+
+StatusOr<DquagPipeline> DquagPipeline::LoadFromBuffer(std::string buffer) {
+  BinaryReader r(std::move(buffer));
 
   DQUAG_ASSIGN_OR_RETURN(uint64_t magic, r.ReadU64());
   if (magic != kMagic) {
-    return Status::InvalidArgument("not a DQuaG checkpoint: " + path);
+    return Status::InvalidArgument("not a DQuaG checkpoint");
   }
 
   DquagPipelineOptions options;

@@ -7,6 +7,7 @@
 #include "data/table_chunk_reader.h"
 #include "util/binary_io.h"
 #include "util/checksum.h"
+#include "util/failpoint.h"
 
 namespace dquag {
 
@@ -33,19 +34,17 @@ StatusOr<std::unique_ptr<ColumnarWriter>> ColumnarWriter::Open(
   std::unique_ptr<ColumnarWriter> writer(
       new ColumnarWriter(schema, options));
   writer->path_ = path;
-  writer->file_.open(path, std::ios::binary | std::ios::trunc);
-  if (!writer->file_) {
-    return Status::IoError("cannot open " + path + " for writing");
-  }
+  auto file = AtomicFileWriter::Open(path);
+  if (!file.ok()) return file.status();
+  writer->file_.emplace(std::move(*file));
   const uint32_t header[2] = {kMagic, kVersion};
   DQUAG_RETURN_IF_ERROR(writer->WriteBytes(header, sizeof(header)));
   return writer;
 }
 
 Status ColumnarWriter::WriteBytes(const void* data, size_t size) {
-  file_.write(static_cast<const char*>(data),
-              static_cast<std::streamsize>(size));
-  if (!file_) return Status::IoError("write failed for " + path_);
+  DQUAG_FAILPOINT(failpoint::kColumnarWrite);
+  DQUAG_RETURN_IF_ERROR(file_->Write(data, size));
   write_offset_ += size;
   return Status::Ok();
 }
@@ -178,10 +177,7 @@ Status ColumnarWriter::Finish() {
       footer_offset, footer.buffer().size(),
       Fnv1a64(footer.buffer().data(), footer.buffer().size()), kTailMagic};
   DQUAG_RETURN_IF_ERROR(WriteBytes(tail, sizeof(tail)));
-  file_.flush();
-  if (!file_) return Status::IoError("flush failed for " + path_);
-  file_.close();
-  return Status::Ok();
+  return file_->Commit();
 }
 
 StatusOr<int64_t> ConvertCsvToColumnar(const std::string& csv_path,

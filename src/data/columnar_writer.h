@@ -15,13 +15,14 @@
 #define DQUAG_DATA_COLUMNAR_WRITER_H_
 
 #include <cstdint>
-#include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "data/table.h"
+#include "util/atomic_file.h"
 
 namespace dquag {
 
@@ -45,8 +46,10 @@ class ColumnarWriter {
   /// Appends all rows of `chunk` (same schema required).
   Status Append(const Table& chunk);
 
-  /// Flushes buffered rows and writes footer + tail. Must be called exactly
-  /// once; without it the file is invalid (readers reject it).
+  /// Flushes buffered rows, writes footer + tail, and atomically commits
+  /// the file into place (blocks stream to `<path>.tmp` until then, so a
+  /// crashed or abandoned conversion never leaves a torn .dqc at `path`).
+  /// Must be called exactly once.
   Status Finish();
 
   int64_t rows_written() const { return rows_written_; }
@@ -68,7 +71,7 @@ class ColumnarWriter {
   Schema schema_;
   ColumnarWriterOptions options_;
   std::string path_;
-  std::ofstream file_;
+  std::optional<AtomicFileWriter> file_;
   Table buffer_;                   // up to block_rows pending rows
   uint64_t write_offset_ = 0;      // bytes written so far
   int64_t rows_written_ = 0;

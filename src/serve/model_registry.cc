@@ -3,7 +3,24 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/failpoint.h"
+
 namespace dquag {
+
+namespace {
+
+/// A checkpoint that cannot be loaded — torn by a crash mid-save,
+/// truncated, corrupted, or simply missing — surfaces as kUnavailable:
+/// the tenant exists but has no servable model right now. The distinction
+/// matters to clients, which retry kUnavailable but not kInvalidArgument.
+Status AsUnavailable(const std::string& tenant, const Status& load_status) {
+  return Status::Unavailable("tenant '" + tenant +
+                             "' has no servable model (checkpoint load "
+                             "failed: " +
+                             load_status.ToString() + ")");
+}
+
+}  // namespace
 
 ModelRegistry::ModelRegistry(ModelRegistryOptions options)
     : options_(std::move(options)) {
@@ -16,6 +33,7 @@ ModelRegistry::ModelRegistry(ModelRegistryOptions options)
 StatusOr<std::shared_ptr<const ValidationService>>
 ModelRegistry::LoadService(const std::string& path,
                            const DeployOptions& deploy) const {
+  DQUAG_FAILPOINT(failpoint::kRegistryLoad);
   ValidationServiceOptions svc = options_.service;
   if (deploy.quantized) svc.quantized = true;
   auto service = ValidationService::FromCheckpoint(path, svc);
@@ -126,7 +144,11 @@ StatusOr<std::shared_ptr<const ValidationService>> ModelRegistry::Acquire(
       seq = entry->deploy_seq;
     }
     auto service = LoadService(path, deploy);
-    if (!service.ok()) return service.status();
+    // Fail closed: a torn or missing checkpoint never installs a
+    // half-initialized service — the entry simply stays non-resident (or,
+    // after a failed re-deploy, keeps its old model) and the caller gets a
+    // retryable kUnavailable.
+    if (!service.ok()) return AsUnavailable(tenant, service.status());
     std::lock_guard<std::mutex> lock(mutex_);
     if (entry->deploy_seq != seq) continue;  // re-deployed mid-load; reload
     entry->counters.RecordLoad();

@@ -10,6 +10,7 @@
 
 #include "data/table.h"
 #include "util/csv.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -27,9 +28,19 @@ WireCode CodeForStatus(const Status& status) {
       return WireCode::kUnknownTenant;
     case StatusCode::kResourceExhausted:
       return WireCode::kOverloaded;
+    case StatusCode::kDeadlineExceeded:
+      return WireCode::kDeadlineExceeded;
+    case StatusCode::kUnavailable:
+      return WireCode::kLoadFailed;
     default:
       return WireCode::kInternal;
   }
+}
+
+/// True once a deadline-carrying request has spent its budget.
+bool DeadlineExpired(const WireRequest& request, const Stopwatch& arrival) {
+  return request.deadline_ms > 0 &&
+         arrival.ElapsedMillis() >= static_cast<double>(request.deadline_ms);
 }
 
 WireResponse ErrorResponse(uint64_t request_id, WireCode code,
@@ -193,6 +204,9 @@ void ServeDaemon::AcceptLoop() {
       ::close(fd);
       continue;
     }
+    if (options_.io_timeout_ms > 0) {
+      (void)SetSocketTimeouts(fd, options_.io_timeout_ms);
+    }
     auto connection = std::make_unique<Connection>();
     connection->fd = fd;
     Connection* raw = connection.get();
@@ -215,6 +229,10 @@ void ServeDaemon::HandleConnection(Connection* connection) {
       }
       break;  // clean EOF (Unavailable) or torn frame (IoError)
     }
+    // The request's deadline budget starts when its frame finished
+    // arriving; everything downstream (decode, dispatch delay, admission,
+    // model work) spends it.
+    Stopwatch arrival;
     WireResponse response;
     auto request = DecodeRequest(*payload);
     if (!request.ok()) {
@@ -225,14 +243,32 @@ void ServeDaemon::HandleConnection(Connection* connection) {
       response = ErrorResponse(request->request_id, WireCode::kShuttingDown,
                                "daemon is shutting down");
     } else {
-      response = HandleRequest(*request);
+      response = HandleRequest(*request, arrival);
     }
     if (!WriteFrame(fd, EncodeResponse(response)).ok()) break;
   }
+  // The descriptor itself is closed by ReapFinishedLocked / Stop (after the
+  // join, so the fd number cannot be reused under a live handler), but the
+  // CONNECTION must die now: a peer that stalled past io_timeout_ms would
+  // otherwise sit in recv() against a half-dead socket until the next
+  // accept happens to reap it.
+  ::shutdown(fd, SHUT_RDWR);
   connection->done.store(true, std::memory_order_release);
 }
 
-WireResponse ServeDaemon::HandleRequest(const WireRequest& request) {
+WireResponse ServeDaemon::HandleRequest(const WireRequest& request,
+                                        const Stopwatch& arrival) {
+  // Chaos hook: a delay here simulates dispatch queueing, which is what
+  // makes the deadline check below testable without a slow model.
+  DQUAG_FAILPOINT_HIT(failpoint::kServeDispatch);
+  // An expired request is answered without spending an admission ticket
+  // or any model work — the client has already given up on it.
+  if (DeadlineExpired(request, arrival)) {
+    return ErrorResponse(
+        request.request_id, WireCode::kDeadlineExceeded,
+        "deadline of " + std::to_string(request.deadline_ms) +
+            " ms expired before dispatch");
+  }
   switch (request.verb) {
     case WireVerb::kPing: {
       WireResponse response;

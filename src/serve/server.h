@@ -35,6 +35,7 @@
 
 #include "serve/model_registry.h"
 #include "serve/wire.h"
+#include "util/stopwatch.h"
 
 namespace dquag {
 
@@ -46,6 +47,11 @@ struct ServeOptions {
   std::string listen_host = "127.0.0.1";
   /// Concurrent connections before new ones are answered kOverloaded.
   int64_t max_connections = 64;
+  /// Per-operation socket timeout on accepted connections: a peer that
+  /// stalls mid-frame for longer than this is disconnected instead of
+  /// pinning a connection slot forever. <= 0 disables (blocking I/O).
+  /// Idle BETWEEN frames also counts — clients are expected to reconnect.
+  int64_t io_timeout_ms = 30000;
   ModelRegistryOptions registry;
 };
 
@@ -96,7 +102,10 @@ class ServeDaemon {
 
   void AcceptLoop();
   void HandleConnection(Connection* connection);
-  WireResponse HandleRequest(const WireRequest& request);
+  /// `arrival` was started when the request frame finished arriving; the
+  /// request's deadline budget is measured against it.
+  WireResponse HandleRequest(const WireRequest& request,
+                             const Stopwatch& arrival);
   WireResponse HandleValidate(const WireRequest& request, bool repair);
   WireResponse HandleDeploy(const WireRequest& request);
   WireResponse HandleStats(const WireRequest& request);

@@ -3,10 +3,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <sys/time.h>
+
 #include <cerrno>
 #include <cstring>
 
 #include "util/binary_io.h"
+#include "util/failpoint.h"
 
 namespace dquag {
 
@@ -23,7 +26,7 @@ Status RequireAtEnd(const BinaryReader& reader, const char* what) {
 }
 
 Status CheckVersion(uint64_t version) {
-  if (version != kWireVersion) {
+  if (version < kMinWireVersion || version > kWireVersion) {
     return Status::InvalidArgument("unsupported wire version " +
                                    std::to_string(version));
   }
@@ -41,6 +44,7 @@ const char* WireCodeName(WireCode code) {
     case WireCode::kLoadFailed: return "load-failed";
     case WireCode::kInternal: return "internal";
     case WireCode::kShuttingDown: return "shutting-down";
+    case WireCode::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
 }
@@ -50,6 +54,7 @@ std::string EncodeRequest(const WireRequest& request) {
   w.WriteU64(kWireVersion);
   w.WriteU64(static_cast<uint64_t>(request.verb));
   w.WriteU64(request.request_id);
+  w.WriteU64(request.deadline_ms);
   w.WriteString(request.tenant);
   w.WriteString(request.body);
   return w.buffer();
@@ -66,6 +71,10 @@ StatusOr<WireRequest> DecodeRequest(const std::string& payload) {
   WireRequest request;
   request.verb = static_cast<WireVerb>(verb);
   DQUAG_ASSIGN_OR_RETURN(request.request_id, r.ReadU64());
+  if (version >= 2) {
+    // v1 requests predate deadlines; 0 keeps them un-bounded.
+    DQUAG_ASSIGN_OR_RETURN(request.deadline_ms, r.ReadU64());
+  }
   DQUAG_ASSIGN_OR_RETURN(request.tenant, r.ReadString());
   DQUAG_ASSIGN_OR_RETURN(request.body, r.ReadString());
   DQUAG_RETURN_IF_ERROR(RequireAtEnd(r, "request"));
@@ -89,7 +98,7 @@ StatusOr<WireResponse> DecodeResponse(const std::string& payload) {
   WireResponse response;
   DQUAG_ASSIGN_OR_RETURN(response.request_id, r.ReadU64());
   DQUAG_ASSIGN_OR_RETURN(uint64_t code, r.ReadU64());
-  if (code > static_cast<uint64_t>(WireCode::kShuttingDown)) {
+  if (code > static_cast<uint64_t>(WireCode::kDeadlineExceeded)) {
     return Status::InvalidArgument("unknown response code " +
                                    std::to_string(code));
   }
@@ -228,7 +237,8 @@ StatusOr<std::vector<TenantStatsSnapshot>> DecodeStats(
 namespace {
 
 /// send() with MSG_NOSIGNAL so a peer that vanished mid-write surfaces as
-/// EPIPE (an IoError) instead of killing the process with SIGPIPE.
+/// EPIPE (an IoError) instead of killing the process with SIGPIPE. With
+/// SO_SNDTIMEO armed, a full send buffer times out as DeadlineExceeded.
 Status WriteAll(int fd, const char* data, size_t size) {
   size_t written = 0;
   while (written < size) {
@@ -236,6 +246,9 @@ Status WriteAll(int fd, const char* data, size_t size) {
         ::send(fd, data + written, size - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("send timed out");
+      }
       return Status::IoError(std::string("send failed: ") +
                              std::strerror(errno));
     }
@@ -245,7 +258,8 @@ Status WriteAll(int fd, const char* data, size_t size) {
 }
 
 /// Reads exactly `size` bytes. `*eof_at_start` reports a clean EOF before
-/// the first byte (a peer hanging up between frames, not an error).
+/// the first byte (a peer hanging up between frames, not an error). With
+/// SO_RCVTIMEO armed, a stalled peer times out as DeadlineExceeded.
 Status ReadExact(int fd, char* out, size_t size, bool* eof_at_start) {
   size_t received = 0;
   if (eof_at_start != nullptr) *eof_at_start = false;
@@ -253,6 +267,9 @@ Status ReadExact(int fd, char* out, size_t size, bool* eof_at_start) {
     const ssize_t n = ::recv(fd, out + received, size - received, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("recv timed out");
+      }
       return Status::IoError(std::string("recv failed: ") +
                              std::strerror(errno));
     }
@@ -270,7 +287,22 @@ Status ReadExact(int fd, char* out, size_t size, bool* eof_at_start) {
 
 }  // namespace
 
+Status SetSocketTimeouts(int fd, int64_t timeout_ms) {
+  timeval tv{};
+  if (timeout_ms > 0) {
+    tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  }
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IoError(std::string("setsockopt timeout failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
 Status WriteFrame(int fd, const std::string& payload) {
+  DQUAG_FAILPOINT(failpoint::kWireSend);
   if (payload.size() > kMaxFramePayload) {
     return Status::InvalidArgument("frame payload exceeds 64 MiB cap");
   }
@@ -284,6 +316,7 @@ Status WriteFrame(int fd, const std::string& payload) {
 }
 
 StatusOr<std::string> ReadFrame(int fd) {
+  DQUAG_FAILPOINT(failpoint::kWireRecv);
   char header[8];
   bool eof_at_start = false;
   Status status = ReadExact(fd, header, sizeof(header), &eof_at_start);

@@ -10,8 +10,11 @@
 // error Status, never an abort (see the server's bad-request path).
 //
 // One request/response pair per frame, on a persistent connection:
-//   WireRequest  { version, verb, request_id, tenant, body }
+//   WireRequest  { version, verb, request_id, deadline_ms, tenant, body }
 //   WireResponse { version, request_id, code, message, body }
+// Version history: v1 had no deadline_ms. Encoders emit v2; decoders
+// accept v1 frames (deadline_ms = 0, "no deadline") so pre-deadline peers
+// keep working across a rolling upgrade.
 // `body` is a verb-specific sub-encoding (validate verdicts, repair
 // results, stats snapshots) with its own Encode/Decode pair below. The
 // request_id is echoed verbatim so clients can pipeline.
@@ -30,7 +33,8 @@ namespace dquag {
 
 inline constexpr uint32_t kFrameMagic = 0x46575144;  // "DQWF" (LE)
 inline constexpr uint32_t kMaxFramePayload = 64u << 20;
-inline constexpr uint64_t kWireVersion = 1;
+inline constexpr uint64_t kWireVersion = 2;     // emitted by encoders
+inline constexpr uint64_t kMinWireVersion = 1;  // oldest decodable
 
 /// Request verbs understood by the daemon.
 enum class WireVerb : uint64_t {
@@ -53,6 +57,7 @@ enum class WireCode : uint64_t {
   kLoadFailed = 4,     // lazy checkpoint load failed
   kInternal = 5,
   kShuttingDown = 6,
+  kDeadlineExceeded = 7,  // request deadline expired before model work
 };
 
 const char* WireCodeName(WireCode code);
@@ -60,6 +65,10 @@ const char* WireCodeName(WireCode code);
 struct WireRequest {
   WireVerb verb = WireVerb::kPing;
   uint64_t request_id = 0;
+  /// End-to-end budget in milliseconds, counted by the server from frame
+  /// arrival; 0 means no deadline. An expired request is answered
+  /// kDeadlineExceeded before any admission ticket or model work is spent.
+  uint64_t deadline_ms = 0;
   std::string tenant;
   std::string body;
 };
@@ -117,13 +126,19 @@ StatusOr<std::vector<TenantStatsSnapshot>> DecodeStats(
 
 // --- Blocking framed I/O over a connected socket. ---
 
+/// Applies SO_RCVTIMEO/SO_SNDTIMEO so a stalled peer surfaces as
+/// DeadlineExceeded from Read/WriteFrame instead of blocking forever.
+/// `timeout_ms <= 0` clears the timeouts.
+Status SetSocketTimeouts(int fd, int64_t timeout_ms);
+
 /// Writes one frame (header + payload); handles partial writes and EINTR.
+/// A send timeout (SetSocketTimeouts) returns DeadlineExceeded.
 Status WriteFrame(int fd, const std::string& payload);
 
 /// Reads one frame and returns its payload. A clean EOF before the first
 /// header byte returns Unavailable ("connection closed"); torn headers,
 /// bad magic, oversize lengths and mid-payload EOF return
-/// InvalidArgument/IoError.
+/// InvalidArgument/IoError; a receive timeout returns DeadlineExceeded.
 StatusOr<std::string> ReadFrame(int fd);
 
 }  // namespace dquag

@@ -1,0 +1,173 @@
+#include "util/atomic_file.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/failpoint.h"
+
+namespace dquag {
+
+namespace {
+
+/// Directory portion of `path` ("." for a bare filename), for the
+/// post-rename directory fsync.
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory " + dir +
+                           " for fsync: " + std::strerror(errno));
+  }
+  // Some filesystems refuse fsync on a directory fd (EINVAL); the rename
+  // itself is still atomic there, so treat it as best-effort.
+  if (::fsync(fd) != 0 && errno != EINVAL) {
+    const Status status = Status::IoError("fsync of directory " + dir +
+                                          " failed: " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<AtomicFileWriter> AtomicFileWriter::Open(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("atomic write needs a non-empty path");
+  }
+  DQUAG_FAILPOINT(failpoint::kAtomicOpen);
+  const std::string temp_path = path + ".tmp";
+  const int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + temp_path +
+                           " for writing: " + std::strerror(errno));
+  }
+  return AtomicFileWriter(path, temp_path, fd);
+}
+
+AtomicFileWriter::AtomicFileWriter(AtomicFileWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      temp_path_(std::move(other.temp_path_)),
+      fd_(other.fd_),
+      committed_(other.committed_) {
+  other.fd_ = -1;
+  other.committed_ = true;  // moved-from shell must not unlink the temp
+}
+
+AtomicFileWriter& AtomicFileWriter::operator=(
+    AtomicFileWriter&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    path_ = std::move(other.path_);
+    temp_path_ = std::move(other.temp_path_);
+    fd_ = other.fd_;
+    committed_ = other.committed_;
+    other.fd_ = -1;
+    other.committed_ = true;
+  }
+  return *this;
+}
+
+AtomicFileWriter::~AtomicFileWriter() { Abandon(); }
+
+void AtomicFileWriter::Abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!committed_ && !temp_path_.empty()) {
+    ::unlink(temp_path_.c_str());
+  }
+}
+
+Status AtomicFileWriter::Write(const void* data, size_t size) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("atomic writer is closed");
+  }
+  DQUAG_FAILPOINT(failpoint::kAtomicWrite);
+  const char* bytes = static_cast<const char*>(data);
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd_, bytes + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write to " + temp_path_ +
+                             " failed: " + std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("atomic writer already committed");
+  }
+  DQUAG_FAILPOINT(failpoint::kAtomicFsync);
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("fsync of " + temp_path_ +
+                           " failed: " + std::strerror(errno));
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    return Status::IoError("close of " + temp_path_ +
+                           " failed: " + std::strerror(errno));
+  }
+  fd_ = -1;
+  DQUAG_FAILPOINT(failpoint::kAtomicRename);
+  if (::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    return Status::IoError("rename " + temp_path_ + " -> " + path_ +
+                           " failed: " + std::strerror(errno));
+  }
+  committed_ = true;  // destination now holds the new bytes
+  DQUAG_FAILPOINT(failpoint::kAtomicDirsync);
+  return FsyncDir(DirOf(path_));
+}
+
+Status WriteFileAtomic(const std::string& path, const void* data,
+                       size_t size) {
+  DQUAG_ASSIGN_OR_RETURN(AtomicFileWriter writer,
+                         AtomicFileWriter::Open(path));
+  DQUAG_RETURN_IF_ERROR(writer.Write(data, size));
+  return writer.Commit();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  return WriteFileAtomic(path, data.data(), data.size());
+}
+
+int64_t RemoveOrphanedTempFiles(const std::string& dir) {
+  DIR* handle = ::opendir(dir.empty() ? "." : dir.c_str());
+  if (handle == nullptr) return 0;
+  int64_t removed = 0;
+  while (dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name.size() < 4 || name.compare(name.size() - 4, 4, ".tmp") != 0) {
+      continue;
+    }
+    const std::string full =
+        dir.empty() ? name : dir + "/" + name;
+    struct stat st;
+    if (::stat(full.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+    if (::unlink(full.c_str()) == 0) ++removed;
+  }
+  ::closedir(handle);
+  return removed;
+}
+
+}  // namespace dquag

@@ -1,0 +1,78 @@
+// Crash-safe file replacement: write temp in the same directory, fsync the
+// temp, rename() over the destination, fsync the directory.
+//
+// rename() on POSIX atomically replaces the destination, so at every
+// instant the destination path holds either the complete old bytes or the
+// complete new bytes — never a torn mix. The fsync pair makes the ordering
+// durable: the data reaches disk before the rename, and the directory
+// entry reaches disk after it. A crash anywhere in the protocol leaves at
+// worst an orphaned `<path>.tmp`, which RemoveOrphanedTempFiles() sweeps
+// at startup (the serve daemon does this for its checkpoint directory).
+//
+// Every step carries a failpoint (util/failpoint.h: atomic_file.*) so the
+// crash-during-save test can kill a child process at each one and assert
+// the destination survives byte-identical.
+
+#ifndef DQUAG_UTIL_ATOMIC_FILE_H_
+#define DQUAG_UTIL_ATOMIC_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace dquag {
+
+/// Incremental writer with an all-or-nothing commit. Destroying the writer
+/// without Commit() (error-path unwind, crash before rename) leaves the
+/// destination untouched and unlinks the temp file if possible.
+class AtomicFileWriter {
+ public:
+  /// Opens `<path>.tmp` for writing (same directory, so the final rename
+  /// cannot cross filesystems).
+  static StatusOr<AtomicFileWriter> Open(const std::string& path);
+
+  AtomicFileWriter(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter& operator=(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+  ~AtomicFileWriter();
+
+  Status Write(const void* data, size_t size);
+  Status Write(const std::string& data) {
+    return Write(data.data(), data.size());
+  }
+
+  /// fsync temp -> rename over destination -> fsync directory. After an ok
+  /// Commit the new bytes are durable under `path`; after a failed or
+  /// absent Commit the old bytes (if any) are untouched.
+  Status Commit();
+
+  const std::string& path() const { return path_; }
+  const std::string& temp_path() const { return temp_path_; }
+
+ private:
+  AtomicFileWriter(std::string path, std::string temp_path, int fd)
+      : path_(std::move(path)), temp_path_(std::move(temp_path)), fd_(fd) {}
+  void Abandon();
+
+  std::string path_;
+  std::string temp_path_;
+  int fd_ = -1;
+  bool committed_ = false;
+};
+
+/// One-shot convenience: atomically replaces `path` with `size` bytes.
+Status WriteFileAtomic(const std::string& path, const void* data,
+                       size_t size);
+Status WriteFileAtomic(const std::string& path, const std::string& data);
+
+/// Deletes `*.tmp` files in `dir` left behind by crashes mid-save. Returns
+/// the number removed; an unreadable directory counts as zero (startup
+/// recovery is best-effort, never fatal).
+int64_t RemoveOrphanedTempFiles(const std::string& dir);
+
+}  // namespace dquag
+
+#endif  // DQUAG_UTIL_ATOMIC_FILE_H_

@@ -4,6 +4,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.h"
+#include "util/failpoint.h"
+
 namespace dquag {
 
 void BinaryWriter::Append(const void* data, size_t size) {
@@ -31,14 +34,14 @@ void BinaryWriter::WriteDoubleVector(const std::vector<double>& values) {
 }
 
 Status BinaryWriter::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::Ok();
+  // Checkpoints replace their predecessor atomically: a crash mid-save must
+  // never leave a torn file for the registry's hot-swap path to load.
+  DQUAG_FAILPOINT(failpoint::kBinaryIoSave);
+  return WriteFileAtomic(path, buffer_);
 }
 
 StatusOr<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  DQUAG_FAILPOINT(failpoint::kBinaryIoLoad);
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   std::ostringstream buffer;

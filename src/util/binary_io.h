@@ -55,6 +55,10 @@ class BinaryReader {
   bool AtEnd() const { return position_ == buffer_.size(); }
   size_t remaining() const { return buffer_.size() - position_; }
 
+  /// Surrenders the underlying buffer (reader becomes unusable); lets
+  /// FromFile feed buffer-oriented decoders without a copy.
+  std::string TakeBuffer() && { return std::move(buffer_); }
+
  private:
   Status Take(void* out, size_t size);
 

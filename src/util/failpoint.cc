@@ -1,0 +1,225 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace dquag {
+namespace failpoint {
+
+namespace internal {
+std::atomic<bool> g_armed{false};
+}  // namespace internal
+
+namespace {
+
+struct SiteConfig {
+  Action action = Action::kError;
+  double probability = 1.0;
+  int64_t delay_ms = 0;
+  int64_t triggers = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, SiteConfig> sites;
+  Rng rng{0x9e3779b97f4a7c15ULL};
+};
+
+Registry& GetRegistry() {
+  // Leaked on purpose: failpoints may fire from detached threads during
+  // process teardown; a destructed registry would be a use-after-free.
+  static Registry& registry = *new Registry();
+  return registry;
+}
+
+/// One-time environment activation. Runs on the first armed-flag check
+/// that happens after this translation unit's static init, which is before
+/// main() for any binary linking the library.
+struct EnvActivation {
+  EnvActivation() {
+    if (const char* seed = std::getenv("DQUAG_FAILPOINTS_SEED")) {
+      SetSeed(std::strtoull(seed, nullptr, 10));
+    }
+    if (const char* spec = std::getenv("DQUAG_FAILPOINTS")) {
+      // Environment specs are best-effort: a typo in the variable should
+      // not take the daemon down, so the error is swallowed after arming
+      // every well-formed clause.
+      (void)EnableFromSpec(spec);
+    }
+  }
+};
+EnvActivation g_env_activation;
+
+bool KnownSite(const std::string& site) {
+  for (const std::string& name : AllSites()) {
+    if (name == site) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllSites() {
+  static const std::vector<std::string>& sites = *new std::vector<std::string>{
+      kBinaryIoSave,  kBinaryIoLoad, kColumnarWrite,      kMmapOpen,
+      kWireSend,      kWireRecv,     kRegistryLoad,       kThreadPoolDispatch,
+      kServeDispatch, kAtomicOpen,   kAtomicWrite,        kAtomicFsync,
+      kAtomicRename,  kAtomicDirsync};
+  return sites;
+}
+
+namespace {
+
+/// Decides and records whether `site` fires, returning the action to take.
+/// The delay is performed by the caller OUTSIDE the registry mutex so a
+/// sleeping site cannot serialize every other armed site in the process.
+bool ShouldFire(const char* site, SiteConfig* fired) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.sites.find(site);
+  if (it == registry.sites.end()) return false;
+  SiteConfig& config = it->second;
+  if (config.probability < 1.0 &&
+      !registry.rng.Bernoulli(config.probability)) {
+    return false;
+  }
+  ++config.triggers;
+  *fired = config;
+  return true;
+}
+
+}  // namespace
+
+Status Check(const char* site) {
+  SiteConfig fired;
+  if (!ShouldFire(site, &fired)) return Status::Ok();
+  switch (fired.action) {
+    case Action::kError:
+      return Status::IoError(std::string("failpoint ") + site);
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(fired.delay_ms));
+      return Status::Ok();
+    case Action::kCrash:
+      std::_Exit(kCrashExitCode);
+  }
+  return Status::Ok();
+}
+
+void Hit(const char* site) {
+  SiteConfig fired;
+  if (!ShouldFire(site, &fired)) return;
+  switch (fired.action) {
+    case Action::kError:
+      break;  // nowhere to propagate; counted only
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(fired.delay_ms));
+      break;
+    case Action::kCrash:
+      std::_Exit(kCrashExitCode);
+  }
+}
+
+void Enable(const std::string& site, Action action, double probability,
+            int64_t delay_ms) {
+  Registry& registry = GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    SiteConfig config;
+    config.action = action;
+    config.probability = probability;
+    config.delay_ms = delay_ms;
+    registry.sites[site] = config;
+  }
+  internal::g_armed.store(true, std::memory_order_relaxed);
+}
+
+Status EnableFromSpec(const std::string& spec) {
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t end = spec.find_first_of(";,", start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(start, end - start);
+    start = end + 1;
+    if (clause.empty()) continue;
+
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint clause needs site=action: '" +
+                                     clause + "'");
+    }
+    const std::string site = clause.substr(0, eq);
+    if (!KnownSite(site)) {
+      return Status::InvalidArgument("unknown failpoint site '" + site + "'");
+    }
+    std::string action_spec = clause.substr(eq + 1);
+
+    double probability = 1.0;
+    const size_t at = action_spec.rfind('@');
+    if (at != std::string::npos) {
+      const std::string p = action_spec.substr(at + 1);
+      char* parse_end = nullptr;
+      probability = std::strtod(p.c_str(), &parse_end);
+      if (p.empty() || parse_end != p.c_str() + p.size() ||
+          !(probability > 0.0) || probability > 1.0) {
+        return Status::InvalidArgument("failpoint probability must be in " +
+                                       std::string("(0, 1]: '") + p + "'");
+      }
+      action_spec.resize(at);
+    }
+
+    if (action_spec == "error") {
+      Enable(site, Action::kError, probability);
+    } else if (action_spec == "crash") {
+      Enable(site, Action::kCrash, probability);
+    } else if (action_spec.rfind("delay:", 0) == 0) {
+      const std::string ms = action_spec.substr(6);
+      char* parse_end = nullptr;
+      const long long delay = std::strtoll(ms.c_str(), &parse_end, 10);
+      if (ms.empty() || parse_end != ms.c_str() + ms.size() || delay < 0) {
+        return Status::InvalidArgument("bad failpoint delay '" + ms + "'");
+      }
+      Enable(site, Action::kDelay, probability, delay);
+    } else {
+      return Status::InvalidArgument("unknown failpoint action '" +
+                                     action_spec + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+void Disable(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.sites.erase(site);
+  if (registry.sites.empty()) {
+    internal::g_armed.store(false, std::memory_order_relaxed);
+  }
+}
+
+void DisableAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.sites.clear();
+  internal::g_armed.store(false, std::memory_order_relaxed);
+}
+
+void SetSeed(uint64_t seed) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.rng = Rng(seed);
+}
+
+int64_t TriggerCount(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.triggers;
+}
+
+}  // namespace failpoint
+}  // namespace dquag

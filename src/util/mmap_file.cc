@@ -4,6 +4,8 @@
 #include <fstream>
 #include <utility>
 
+#include "util/failpoint.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define DQUAG_HAVE_MMAP 1
 #include <fcntl.h>
@@ -61,6 +63,7 @@ Status MmapFile::ReadWholeFile(const std::string& path) {
 }
 
 StatusOr<MmapFile> MmapFile::Open(const std::string& path) {
+  DQUAG_FAILPOINT(failpoint::kMmapOpen);
   MmapFile file;
 #if DQUAG_HAVE_MMAP
   const int fd = ::open(path.c_str(), O_RDONLY);

@@ -24,6 +24,7 @@ enum class StatusCode {
   kIoError,
   kResourceExhausted,  // admission control: retry later
   kUnavailable,        // endpoint gone (connection closed, shutting down)
+  kDeadlineExceeded,   // request/IO budget spent before completion
 };
 
 /// Lightweight success/error result. Ok() is the success value; error
@@ -62,6 +63,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -85,6 +89,7 @@ class Status {
       case StatusCode::kIoError: return "IoError";
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
       case StatusCode::kUnavailable: return "Unavailable";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     }
     return "Unknown";
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "util/failpoint.h"
+
 namespace dquag {
 
 namespace {
@@ -31,6 +33,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Delay-only injection: stretches the submit->run window so chaos tests
+  // can surface ordering assumptions in fan-out code.
+  DQUAG_FAILPOINT_HIT(failpoint::kThreadPoolDispatch);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));

@@ -1,0 +1,207 @@
+// AtomicFileWriter (util/atomic_file.h): write/commit/abandon semantics,
+// orphan sweeping, and the crash-atomicity proof.
+//
+// The crash tests fork a child that arms a `crash` failpoint at ONE step of
+// the commit protocol and rewrites an existing file; the child dies there
+// with std::_Exit (no flushing, no unwinding — the portable stand-in for
+// SIGKILL). The parent then asserts the destination holds EXACTLY the old
+// bytes (crash before rename) or EXACTLY the new bytes (crash after), never
+// a torn mix, and that startup recovery sweeps whatever temp the crash
+// stranded.
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/atomic_file.h"
+#include "util/failpoint.h"
+
+namespace dquag {
+namespace {
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::DisableAll();
+    char tmpl[] = "/tmp/dquag_atomic_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    failpoint::DisableAll();
+    // Best-effort cleanup; tests assert on contents, not emptiness.
+    for (const std::string& name : ListDir()) {
+      ::unlink((dir_ + "/" + name).c_str());
+    }
+    ::rmdir(dir_.c_str());
+  }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  static std::string ReadAll(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return in.good() || in.eof() ? buf.str() : "<unreadable>";
+  }
+
+  static bool Exists(const std::string& path) {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  std::vector<std::string> ListDir() const {
+    std::vector<std::string> names;
+    if (DIR* dir = ::opendir(dir_.c_str())) {
+      while (dirent* entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name != "." && name != "..") names.push_back(name);
+      }
+      ::closedir(dir);
+    }
+    return names;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(AtomicFileTest, WriteFileAtomicCreatesAndReplaces) {
+  const std::string path = Path("data.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, "first").ok());
+  EXPECT_EQ(ReadAll(path), "first");
+  ASSERT_TRUE(WriteFileAtomic(path, "second, longer than before").ok());
+  EXPECT_EQ(ReadAll(path), "second, longer than before");
+  EXPECT_FALSE(Exists(path + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, IncrementalWritesConcatenate) {
+  const std::string path = Path("data.bin");
+  auto writer = AtomicFileWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Write("abc").ok());
+  ASSERT_TRUE(writer->Write("def").ok());
+  EXPECT_FALSE(Exists(path)) << "destination must not appear before Commit";
+  ASSERT_TRUE(writer->Commit().ok());
+  EXPECT_EQ(ReadAll(path), "abcdef");
+}
+
+TEST_F(AtomicFileTest, AbandonLeavesDestinationUntouchedAndNoTemp) {
+  const std::string path = Path("data.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, "original").ok());
+  {
+    auto writer = AtomicFileWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Write("partial new conten").ok());
+    // Destroyed without Commit: error-path unwind.
+  }
+  EXPECT_EQ(ReadAll(path), "original");
+  EXPECT_FALSE(Exists(path + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, MoveTransfersCommitResponsibility) {
+  const std::string path = Path("data.bin");
+  auto writer = AtomicFileWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  AtomicFileWriter moved = std::move(*writer);
+  ASSERT_TRUE(moved.Write("payload").ok());
+  ASSERT_TRUE(moved.Commit().ok());
+  EXPECT_EQ(ReadAll(path), "payload");
+}
+
+TEST_F(AtomicFileTest, ErrorFailpointsSurfaceAsStatusNotTornFile) {
+  const std::string path = Path("data.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, "original").ok());
+  for (const char* site :
+       {failpoint::kAtomicOpen, failpoint::kAtomicWrite,
+        failpoint::kAtomicFsync, failpoint::kAtomicRename}) {
+    failpoint::Enable(site, failpoint::Action::kError);
+    const Status status = WriteFileAtomic(path, "replacement");
+    EXPECT_EQ(status.code(), StatusCode::kIoError) << site;
+    EXPECT_EQ(ReadAll(path), "original") << site;
+    EXPECT_FALSE(Exists(path + ".tmp")) << site;
+    failpoint::DisableAll();
+  }
+  // The dirsync failpoint fires AFTER the rename: the contents swap even
+  // though Commit reports the injected error.
+  failpoint::Enable(failpoint::kAtomicDirsync, failpoint::Action::kError);
+  EXPECT_FALSE(WriteFileAtomic(path, "replacement").ok());
+  EXPECT_EQ(ReadAll(path), "replacement");
+  failpoint::DisableAll();
+}
+
+TEST_F(AtomicFileTest, RemoveOrphanedTempFilesSweepsOnlyTemps) {
+  ASSERT_TRUE(WriteFileAtomic(Path("keep.bin"), "keep").ok());
+  { std::ofstream(Path("orphan1.tmp")) << "garbage"; }
+  { std::ofstream(Path("orphan2.bin.tmp")) << "more garbage"; }
+  EXPECT_EQ(RemoveOrphanedTempFiles(dir_), 2);
+  EXPECT_FALSE(Exists(Path("orphan1.tmp")));
+  EXPECT_FALSE(Exists(Path("orphan2.bin.tmp")));
+  EXPECT_EQ(ReadAll(Path("keep.bin")), "keep");
+  EXPECT_EQ(RemoveOrphanedTempFiles(dir_), 0);  // idempotent
+  EXPECT_EQ(RemoveOrphanedTempFiles(Path("missing-subdir")), 0);
+}
+
+/// Kill-at-every-failpoint: crash a child at each step of the commit
+/// protocol and assert the destination is never torn. Sites strictly
+/// before the rename must leave the OLD bytes; sites after it (dirsync)
+/// must leave the NEW bytes; nothing may leave a mix.
+TEST_F(AtomicFileTest, CrashAtEveryProtocolStepNeverTearsTheFile) {
+  const std::string path = Path("checkpoint.bin");
+  const std::string old_bytes(4096, 'O');
+  const std::string new_bytes(8192, 'N');
+  struct Step {
+    const char* site;
+    bool new_bytes_expected;
+  };
+  const std::vector<Step> steps = {
+      {failpoint::kAtomicOpen, false},
+      {failpoint::kAtomicWrite, false},
+      {failpoint::kAtomicFsync, false},
+      {failpoint::kAtomicRename, false},
+      {failpoint::kAtomicDirsync, true},
+  };
+  for (const Step& step : steps) {
+    ASSERT_TRUE(WriteFileAtomic(path, old_bytes).ok());
+
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      // Child: arm the crash and attempt the rewrite. _Exit codes keep
+      // gtest state out of the child entirely.
+      failpoint::Enable(step.site, failpoint::Action::kCrash);
+      const Status status = WriteFileAtomic(path, new_bytes);
+      std::_Exit(status.ok() ? 0 : 1);  // reaching here = failpoint missed
+    }
+    int wait_status = 0;
+    ASSERT_EQ(::waitpid(child, &wait_status, 0), child) << step.site;
+    ASSERT_TRUE(WIFEXITED(wait_status)) << step.site << ": child signaled";
+    ASSERT_EQ(WEXITSTATUS(wait_status), failpoint::kCrashExitCode)
+        << step.site << ": child did not die at the failpoint";
+
+    const std::string survivor = ReadAll(path);
+    if (step.new_bytes_expected) {
+      EXPECT_EQ(survivor, new_bytes) << step.site;
+    } else {
+      EXPECT_EQ(survivor, old_bytes) << step.site;
+    }
+
+    // Startup recovery: whatever temp the crash stranded is swept, and the
+    // committed file survives the sweep.
+    RemoveOrphanedTempFiles(dir_);
+    EXPECT_FALSE(Exists(path + ".tmp")) << step.site;
+    EXPECT_EQ(ReadAll(path), survivor) << step.site;
+  }
+}
+
+}  // namespace
+}  // namespace dquag

@@ -1,0 +1,167 @@
+// Unit tests for the failpoint framework (util/failpoint.h): spec grammar,
+// action semantics, probability determinism under a fixed seed, trigger
+// accounting, and the armed fast path.
+//
+// These tests arm and disarm failpoints process-wide, so every test
+// restores a clean slate via DisableAll() — the fixture enforces it.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/failpoint.h"
+#include "util/stopwatch.h"
+
+namespace dquag {
+namespace {
+
+using failpoint::Action;
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DisableAll(); }
+  void TearDown() override { failpoint::DisableAll(); }
+};
+
+/// A function with an injection site, standing in for production code.
+Status GuardedOperation() {
+  DQUAG_FAILPOINT(failpoint::kBinaryIoSave);
+  return Status::Ok();
+}
+
+/// StatusOr context: the macro's injected Status must convert.
+StatusOr<int> GuardedValue() {
+  DQUAG_FAILPOINT(failpoint::kBinaryIoLoad);
+  return 42;
+}
+
+TEST_F(FailpointTest, DisarmedSiteIsTransparent) {
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(failpoint::TriggerCount(failpoint::kBinaryIoSave), 0);
+}
+
+TEST_F(FailpointTest, ErrorActionInjectsIoError) {
+  failpoint::Enable(failpoint::kBinaryIoSave, Action::kError);
+  const Status status = GuardedOperation();
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.ToString().find(failpoint::kBinaryIoSave),
+            std::string::npos);
+  EXPECT_EQ(failpoint::TriggerCount(failpoint::kBinaryIoSave), 1);
+
+  failpoint::Disable(failpoint::kBinaryIoSave);
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, ErrorActionWorksInStatusOrContext) {
+  failpoint::Enable(failpoint::kBinaryIoLoad, Action::kError);
+  EXPECT_EQ(GuardedValue().status().code(), StatusCode::kIoError);
+  failpoint::Disable(failpoint::kBinaryIoLoad);
+  ASSERT_TRUE(GuardedValue().ok());
+  EXPECT_EQ(*GuardedValue(), 42);
+}
+
+TEST_F(FailpointTest, DelayActionSleepsThenProceeds) {
+  failpoint::Enable(failpoint::kBinaryIoSave, Action::kDelay,
+                    /*probability=*/1.0, /*delay_ms=*/30);
+  Stopwatch timer;
+  EXPECT_TRUE(GuardedOperation().ok());  // delay never fails the call
+  EXPECT_GE(timer.ElapsedMillis(), 25.0);
+  EXPECT_EQ(failpoint::TriggerCount(failpoint::kBinaryIoSave), 1);
+}
+
+TEST_F(FailpointTest, ProbabilityZeroPointNothingNeverExceedsHits) {
+  failpoint::SetSeed(1234);
+  failpoint::Enable(failpoint::kBinaryIoSave, Action::kError,
+                    /*probability=*/0.5);
+  int fired = 0;
+  constexpr int kHits = 400;
+  for (int i = 0; i < kHits; ++i) {
+    if (!GuardedOperation().ok()) ++fired;
+  }
+  EXPECT_EQ(failpoint::TriggerCount(failpoint::kBinaryIoSave), fired);
+  // With p=0.5 over 400 Bernoulli trials, landing outside [120, 280] has
+  // probability < 1e-15 — this is a determinism smoke, not a stats test.
+  EXPECT_GT(fired, 120);
+  EXPECT_LT(fired, 280);
+}
+
+TEST_F(FailpointTest, SameSeedReplaysSameSchedule) {
+  auto run = [this]() {
+    failpoint::DisableAll();
+    failpoint::SetSeed(99);
+    failpoint::Enable(failpoint::kBinaryIoSave, Action::kError,
+                      /*probability=*/0.3);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!GuardedOperation().ok());
+    return fired;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_F(FailpointTest, SpecParsesMultipleClauses) {
+  ASSERT_TRUE(failpoint::EnableFromSpec(
+                  "binary_io.save=error;wire.send=delay:5@0.5")
+                  .ok());
+  EXPECT_FALSE(GuardedOperation().ok());
+  failpoint::DisableAll();
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, SpecAcceptsCommaSeparator) {
+  ASSERT_TRUE(
+      failpoint::EnableFromSpec("binary_io.save=error,binary_io.load=error")
+          .ok());
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_FALSE(GuardedValue().ok());
+}
+
+TEST_F(FailpointTest, SpecRejectsUnknownSite) {
+  const Status status = failpoint::EnableFromSpec("no.such.site=error");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailpointTest, SpecRejectsBadGrammar) {
+  EXPECT_FALSE(failpoint::EnableFromSpec("binary_io.save").ok());
+  EXPECT_FALSE(failpoint::EnableFromSpec("binary_io.save=").ok());
+  EXPECT_FALSE(failpoint::EnableFromSpec("binary_io.save=explode").ok());
+  EXPECT_FALSE(failpoint::EnableFromSpec("binary_io.save=delay").ok());
+  EXPECT_FALSE(failpoint::EnableFromSpec("binary_io.save=delay:xyz").ok());
+  EXPECT_FALSE(failpoint::EnableFromSpec("binary_io.save=error@0").ok());
+  EXPECT_FALSE(failpoint::EnableFromSpec("binary_io.save=error@1.5").ok());
+  EXPECT_FALSE(failpoint::EnableFromSpec("binary_io.save=error@nope").ok());
+}
+
+TEST_F(FailpointTest, BadClauseLeavesEarlierClausesArmed) {
+  const Status status =
+      failpoint::EnableFromSpec("binary_io.save=error;bogus!");
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(GuardedOperation().ok());  // first clause survived
+}
+
+TEST_F(FailpointTest, AllSitesAreSpecRoundTrippable) {
+  for (const std::string& site : failpoint::AllSites()) {
+    ASSERT_TRUE(failpoint::EnableFromSpec(site + "=delay:0").ok())
+        << "site not spec-addressable: " << site;
+  }
+  EXPECT_GE(failpoint::AllSites().size(), 14u);
+  failpoint::DisableAll();
+}
+
+TEST_F(FailpointTest, HitIgnoresErrorActionButCountsIt) {
+  failpoint::Enable(failpoint::kThreadPoolDispatch, Action::kError);
+  failpoint::Hit(failpoint::kThreadPoolDispatch);  // must not crash/throw
+  EXPECT_EQ(failpoint::TriggerCount(failpoint::kThreadPoolDispatch), 1);
+}
+
+TEST_F(FailpointTest, TriggerCountResetsOnReEnable) {
+  failpoint::Enable(failpoint::kBinaryIoSave, Action::kError);
+  (void)GuardedOperation();
+  (void)GuardedOperation();
+  EXPECT_EQ(failpoint::TriggerCount(failpoint::kBinaryIoSave), 2);
+  failpoint::Enable(failpoint::kBinaryIoSave, Action::kError);
+  EXPECT_EQ(failpoint::TriggerCount(failpoint::kBinaryIoSave), 0);
+}
+
+}  // namespace
+}  // namespace dquag

@@ -491,12 +491,14 @@ TEST(ServeIntegrationTest, BadBatchesAreBadRequestsNotAborts) {
 
   // Deploying a path that is not a checkpoint fails without killing the
   // old deployment (the tenant is not resident yet, so the load error
-  // surfaces on first use and re-deploy heals it).
+  // surfaces on first use and re-deploy heals it). The registry fails
+  // closed: no servable model is kUnavailable — retryable, unlike a bad
+  // request.
   ASSERT_TRUE(client->Deploy("broken", "/no/such/file.ckpt").ok());
   auto load_failed =
       client->Validate("broken", BatchCsv(Dataset::kNyTaxi, 5, 8));
   ASSERT_FALSE(load_failed.ok());
-  EXPECT_EQ(load_failed.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(load_failed.status().code(), StatusCode::kUnavailable);
 
   // A header-only batch is valid input: zero rows, clean verdict.
   Rng rng(3);

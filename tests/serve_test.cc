@@ -9,8 +9,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -476,6 +479,52 @@ TEST(ModelRegistryTest, FailedHotSwapKeepsServingOldModel) {
   ASSERT_TRUE(after.ok());
   EXPECT_EQ((*after)->pipeline().threshold(), threshold);
   EXPECT_EQ(before->get(), after->get());  // same live instance
+}
+
+TEST(ModelRegistryTest, TruncatedCheckpointNeverSwapsInAtAnyLength) {
+  ModelRegistry registry(SmallRegistryOptions());
+  ASSERT_TRUE(registry.Deploy("alpha", CheckpointForSeed(42)).ok());
+  auto before = registry.Acquire("alpha");
+  ASSERT_TRUE(before.ok());
+
+  // Re-deploy the SAME model torn at stepped prefix lengths — a crash can
+  // truncate a checkpoint anywhere, including exactly at a section
+  // boundary. Every length must fail the swap and leave the live instance
+  // untouched; none may abort or install a half-decoded service.
+  auto intact = BinaryReader::FromFile(CheckpointForSeed(42));
+  ASSERT_TRUE(intact.ok());
+  const std::string bytes = std::move(*intact).TakeBuffer();
+  const std::string torn_path =
+      ::testing::TempDir() + "serve_test_torn.ckpt";
+  std::vector<size_t> lengths;
+  const size_t step = std::max<size_t>(1, bytes.size() / 64);
+  for (size_t len = 0; len < bytes.size(); len += step) {
+    lengths.push_back(len);
+  }
+  lengths.push_back(bytes.size() - 1);  // torn by exactly one byte
+  for (size_t len : lengths) {
+    {
+      std::ofstream out(torn_path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(len));
+    }
+    const Status swap = registry.Deploy("alpha", torn_path);
+    EXPECT_FALSE(swap.ok()) << "torn prefix of " << len << " bytes loaded";
+    auto still = registry.Acquire("alpha");
+    ASSERT_TRUE(still.ok());
+    EXPECT_EQ(before->get(), still->get()) << "len " << len;
+  }
+
+  // A fresh tenant lazily loading the torn file fails closed with
+  // kUnavailable — the retryable "no servable model" contract.
+  ASSERT_TRUE(registry.Deploy("beta", torn_path).ok());  // lazy: records path
+  auto acquire = registry.Acquire("beta");
+  ASSERT_FALSE(acquire.ok());
+  EXPECT_EQ(acquire.status().code(), StatusCode::kUnavailable);
+
+  // Re-deploying the intact bytes heals the fresh tenant.
+  ASSERT_TRUE(registry.Deploy("beta", CheckpointForSeed(42)).ok());
+  EXPECT_TRUE(registry.Acquire("beta").ok());
+  std::remove(torn_path.c_str());
 }
 
 TEST(ModelRegistryTest, AdmissionBudgetRejectsGracefully) {

@@ -16,6 +16,7 @@
 //                   [--chunk-rows N]                 (concurrent serving sim)
 //   dquag serve     --port P [--host H] [--capacity N] [--max-inflight K]
 //                   [--max-connections C] [--micro-batch M]
+//                   [--io-timeout-ms MS]  (disconnect stalled peers; 0=off)
 //                   [--deploy tenant=model.ckpt[,t2=m2.ckpt...]]
 //                     (append @quantized to a checkpoint for int8 serving)
 //                                                    (socket-backed daemon)
@@ -23,6 +24,15 @@
 //                   [--quantized]
 //   dquag stats     --port P [--tenant T] [--host H]
 //   dquag shutdown  --port P [--host H]
+//
+// Client commands (deploy/stats/shutdown) also take:
+//   --timeout-ms MS          end-to-end deadline per call (0 = none); the
+//                            remaining budget rides in the wire header so
+//                            the daemon drops work the client abandoned
+//   --retries N              retry idempotent calls (stats) with
+//                            exponential backoff; deploy/shutdown never
+//                            retry
+//   --connect-timeout-ms MS  bound on TCP connect (default 5000)
 //   dquag schema-template --data data.csv   (guess a schema from a CSV)
 //
 // validate and serve-sim run through the ValidationService: micro-batched
@@ -62,6 +72,7 @@
 #include "serve/client.h"
 #include "serve/server.h"
 #include "serve/serving_stats.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -511,6 +522,7 @@ int CmdServe(const Args& args) {
   options.port = static_cast<int>(args.GetInt("port", 0));
   options.listen_host = args.Get("host", "127.0.0.1");
   options.max_connections = args.GetInt("max-connections", 64);
+  options.io_timeout_ms = args.GetInt("io-timeout-ms", 30000);
   options.registry.max_resident = args.GetInt("capacity", 4);
   options.registry.max_inflight_per_tenant = args.GetInt("max-inflight", 32);
   options.registry.service.micro_batch_rows =
@@ -520,6 +532,25 @@ int CmdServe(const Args& args) {
   if (args.Has("deploy")) {
     Status status = ParseDeploySpec(args.Get("deploy"), &deploys);
     if (!status.ok()) return Fail(status);
+  }
+
+  // Crash recovery: a save interrupted before its atomic rename leaves a
+  // `*.tmp` beside the checkpoint. Sweep each checkpoint directory once so
+  // aborted writes never accumulate (the committed files are untouched).
+  {
+    std::map<std::string, bool> swept;
+    for (const DeploySpecEntry& deploy : deploys) {
+      const size_t slash = deploy.path.find_last_of('/');
+      const std::string dir =
+          slash == std::string::npos ? "." : deploy.path.substr(0, slash);
+      if (swept[dir]) continue;
+      swept[dir] = true;
+      const int64_t removed = RemoveOrphanedTempFiles(dir);
+      if (removed > 0) {
+        std::printf("recovered %s: removed %lld orphaned temp file(s)\n",
+                    dir.c_str(), static_cast<long long>(removed));
+      }
+    }
   }
 
   ServeDaemon daemon(options);
@@ -562,7 +593,16 @@ StatusOr<ServeClient> ConnectFromArgs(const Args& args) {
   if (port <= 0) {
     return Status::InvalidArgument("--port is required");
   }
-  return ServeClient::Connect(args.Get("host", "127.0.0.1"), port);
+  ClientOptions options;
+  options.connect_timeout_ms = args.GetInt("connect-timeout-ms", 5000);
+  // --timeout-ms is the end-to-end budget; it doubles as the per-operation
+  // socket timeout so a stalled daemon resolves within the same budget.
+  options.deadline_ms = args.GetInt("timeout-ms", 0);
+  options.io_timeout_ms = options.deadline_ms;
+  options.retry.max_retries =
+      static_cast<int>(args.GetInt("retries", 0));
+  return ServeClient::Connect(args.Get("host", "127.0.0.1"), port,
+                              std::move(options));
 }
 
 int CmdDeploy(const Args& args) {
