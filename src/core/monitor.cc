@@ -1,5 +1,8 @@
 #include "core/monitor.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/streaming_validator.h"
 
 namespace dquag {
@@ -11,6 +14,26 @@ QualityMonitor::QualityMonitor(const DquagPipeline* pipeline,
   DQUAG_CHECK(pipeline_->fitted());
   DQUAG_CHECK_GT(options_.ewma_alpha, 0.0);
   DQUAG_CHECK_LE(options_.ewma_alpha, 1.0);
+  DQUAG_CHECK_GT(options_.ewma_reference_rows, 0);
+  DQUAG_CHECK_GT(options_.history_capacity, 0);
+  DQUAG_CHECK_GT(options_.drift_window_rows, 0);
+  // Per-row decay: after ewma_reference_rows rows, exactly ewma_alpha of
+  // the old state has decayed away — the batch-level semantics of the old
+  // alpha, now independent of how rows arrive.
+  beta_row_ = std::pow(1.0 - options_.ewma_alpha,
+                       1.0 / static_cast<double>(options_.ewma_reference_rows));
+
+  const int64_t columns = pipeline_->preprocessor().schema().num_columns();
+  window_column_counts_.assign(static_cast<size_t>(columns), 0);
+  // Baseline from the training profile; legacy checkpoints without one get
+  // all-zero clean rates (any windowed suspect activity beyond the
+  // threshold then counts as drift).
+  const std::vector<double>& profile =
+      pipeline_->training_report().column_clean_suspect_rate;
+  column_baseline_.assign(static_cast<size_t>(columns), 0.0);
+  for (size_t c = 0; c < profile.size() && c < column_baseline_.size(); ++c) {
+    column_baseline_[c] = profile[c];
+  }
 }
 
 MonitorObservation QualityMonitor::Observe(const Table& batch) {
@@ -18,55 +41,152 @@ MonitorObservation QualityMonitor::Observe(const Table& batch) {
 }
 
 MonitorObservation QualityMonitor::ObserveVerdict(const BatchVerdict& verdict) {
-  if (!ewma_initialized_) {
-    ewma_ = verdict.flagged_fraction;
-    ewma_initialized_ = true;
-  } else {
-    ewma_ = options_.ewma_alpha * verdict.flagged_fraction +
-            (1.0 - options_.ewma_alpha) * ewma_;
+  std::vector<const std::vector<int64_t>*> suspects;
+  suspects.reserve(verdict.flagged_rows.size());
+  for (size_t row : verdict.flagged_rows) {
+    suspects.push_back(row < verdict.instances.size()
+                           ? &verdict.instances[row].suspect_features
+                           : nullptr);
   }
-
-  MonitorObservation observation;
-  observation.batch_index = static_cast<int64_t>(history_.size());
-  observation.flagged_fraction = verdict.flagged_fraction;
-  observation.smoothed_fraction = ewma_;
-  observation.batch_dirty = verdict.is_dirty;
-  const double alarm_level =
-      pipeline_->validator().batch_cutoff() * options_.alarm_multiplier;
-  observation.alarm =
-      observation.batch_index + 1 >= options_.warmup_batches &&
-      ewma_ > alarm_level;
-  history_.push_back(observation);
-  return observation;
+  return Ingest(static_cast<int64_t>(verdict.instances.size()),
+                verdict.flagged_rows.data(), verdict.flagged_rows.size(),
+                suspects.data(), verdict.is_dirty, verdict.flagged_fraction);
 }
 
 MonitorObservation QualityMonitor::ObserveStreamVerdict(
     const StreamVerdict& verdict) {
-  BatchVerdict equivalent;
-  equivalent.is_dirty = verdict.is_dirty;
-  equivalent.flagged_fraction = verdict.flagged_fraction;
-  equivalent.threshold = verdict.threshold;
-  return ObserveVerdict(equivalent);
+  // The stream carries the full per-row flag sequence: total_rows plus the
+  // ascending global flagged indices with their instance verdicts (a
+  // parallel array). Folding it row by row weights the stream by its row
+  // count — a million-row stream moves the EWMA like a million rows, not
+  // like one 10-row batch.
+  std::vector<const std::vector<int64_t>*> suspects;
+  suspects.reserve(verdict.flagged_rows.size());
+  for (size_t i = 0; i < verdict.flagged_rows.size(); ++i) {
+    suspects.push_back(i < verdict.flagged_instances.size()
+                           ? &verdict.flagged_instances[i].suspect_features
+                           : nullptr);
+  }
+  return Ingest(verdict.total_rows, verdict.flagged_rows.data(),
+                verdict.flagged_rows.size(), suspects.data(),
+                verdict.is_dirty, verdict.flagged_fraction);
 }
 
-bool QualityMonitor::alarming() const {
-  return !history_.empty() && history_.back().alarm;
+MonitorObservation QualityMonitor::Ingest(
+    int64_t rows, const size_t* flagged, size_t flagged_count,
+    const std::vector<int64_t>* const* suspects, bool batch_dirty,
+    double flagged_fraction) {
+  // Per-row EWMA fold. Deliberately a plain loop (no closed-form powers):
+  // pow is not exactly multiplicative across splits, and this fold must
+  // produce bit-identical state whether the same rows arrive as one
+  // observation or as N chunks. One multiply-add per row is ~ms per
+  // million rows, far below validation cost.
+  size_t cursor = 0;
+  for (int64_t i = 0; i < rows; ++i) {
+    const bool is_flagged =
+        cursor < flagged_count && flagged[cursor] == static_cast<size_t>(i);
+    const double flag = is_flagged ? 1.0 : 0.0;
+    if (!ewma_initialized_) {
+      ewma_ = flag;
+      ewma_initialized_ = true;
+    } else {
+      ewma_ = beta_row_ * ewma_ + (1.0 - beta_row_) * flag;
+    }
+    if (is_flagged) {
+      FlagRecord record;
+      record.row = rows_observed_ + i;
+      if (suspects[cursor] != nullptr) {
+        record.suspects = *suspects[cursor];
+        for (int64_t c : record.suspects) {
+          if (c >= 0 &&
+              c < static_cast<int64_t>(window_column_counts_.size())) {
+            ++window_column_counts_[static_cast<size_t>(c)];
+          }
+        }
+      }
+      window_flags_.push_back(std::move(record));
+      ++cursor;
+    }
+  }
+  rows_observed_ += rows;
+  flagged_observed_ += static_cast<int64_t>(flagged_count);
+
+  // Trim the drift window to the trailing drift_window_rows rows.
+  const int64_t window_start = rows_observed_ - options_.drift_window_rows;
+  while (!window_flags_.empty() && window_flags_.front().row < window_start) {
+    for (int64_t c : window_flags_.front().suspects) {
+      if (c >= 0 && c < static_cast<int64_t>(window_column_counts_.size())) {
+        --window_column_counts_[static_cast<size_t>(c)];
+      }
+    }
+    window_flags_.pop_front();
+  }
+
+  const bool warmed_up = rows_observed_ >= options_.warmup_rows;
+  const double alarm_level =
+      pipeline_->validator().batch_cutoff() * options_.alarm_multiplier;
+
+  MonitorObservation observation;
+  observation.batch_index = observations_;
+  observation.rows = rows;
+  observation.rows_observed = rows_observed_;
+  observation.flagged_fraction = flagged_fraction;
+  observation.smoothed_fraction = ewma_;
+  observation.batch_dirty = batch_dirty;
+  observation.alarm = warmed_up && ewma_ > alarm_level;
+  if (warmed_up) {
+    const double window_rows = static_cast<double>(
+        std::min(rows_observed_, options_.drift_window_rows));
+    for (size_t c = 0; c < window_column_counts_.size(); ++c) {
+      const double rate =
+          static_cast<double>(window_column_counts_[c]) / window_rows;
+      if (rate > column_baseline_[c] + options_.column_drift_threshold) {
+        observation.drifting_columns.push_back(static_cast<int64_t>(c));
+      }
+    }
+  }
+
+  ++observations_;
+  if (batch_dirty) ++dirty_observations_;
+  last_alarm_ = observation.alarm;
+  last_drifting_columns_ = observation.drifting_columns;
+
+  history_.push_back(observation);
+  while (static_cast<int64_t>(history_.size()) > options_.history_capacity) {
+    history_.pop_front();
+  }
+  return observation;
 }
 
 double QualityMonitor::DirtyBatchRate() const {
-  if (history_.empty()) return 0.0;
-  int64_t dirty = 0;
-  for (const MonitorObservation& obs : history_) {
-    dirty += obs.batch_dirty ? 1 : 0;
+  if (observations_ == 0) return 0.0;
+  return static_cast<double>(dirty_observations_) /
+         static_cast<double>(observations_);
+}
+
+std::vector<double> QualityMonitor::WindowColumnRates() const {
+  std::vector<double> rates(window_column_counts_.size(), 0.0);
+  if (rows_observed_ == 0) return rates;
+  const double window_rows = static_cast<double>(
+      std::min(rows_observed_, options_.drift_window_rows));
+  for (size_t c = 0; c < rates.size(); ++c) {
+    rates[c] = static_cast<double>(window_column_counts_[c]) / window_rows;
   }
-  return static_cast<double>(dirty) /
-         static_cast<double>(history_.size());
+  return rates;
 }
 
 void QualityMonitor::Reset() {
   history_.clear();
   ewma_ = 0.0;
   ewma_initialized_ = false;
+  last_alarm_ = false;
+  last_drifting_columns_.clear();
+  observations_ = 0;
+  dirty_observations_ = 0;
+  rows_observed_ = 0;
+  flagged_observed_ = 0;
+  window_flags_.clear();
+  std::fill(window_column_counts_.begin(), window_column_counts_.end(), 0);
 }
 
 }  // namespace dquag

@@ -3,15 +3,26 @@
 // Deployments validate data continuously, not once; the paper frames its
 // batch rule exactly this way ("the parameter n can be adjusted based on
 // observed reconstruction errors after deployment", §3.2.1). QualityMonitor
-// tracks the flagged fraction of each incoming batch, smooths it with an
-// EWMA, raises an alarm when the smoothed rate crosses the batch cutoff,
-// and keeps enough history to distinguish one bad batch from sustained
-// degradation.
+// folds every validated ROW into a per-row EWMA of the flag indicator,
+// raises an alarm when the smoothed rate crosses the batch cutoff, tracks
+// per-column suspect rates over a trailing row window against the training
+// profile (windowed drift detection), and keeps a bounded history ring to
+// distinguish one bad batch from sustained degradation.
+//
+// Grouping invariance: the monitor state is a pure fold over the 0/1 flag
+// sequence of individual rows, reconstructed exactly from a verdict's
+// flagged_rows plus its row count. Feeding N chunk verdicts or one verdict
+// covering the same rows performs the identical per-row operation sequence,
+// so the EWMA, warm-up, and drift window are bit-identical either way —
+// the monitor cannot be gamed (or confused) by how a stream was batched.
+// Memory is bounded: O(history_capacity) observations plus O(window
+// flagged rows) drift records, independent of stream length.
 
 #ifndef DQUAG_CORE_MONITOR_H_
 #define DQUAG_CORE_MONITOR_H_
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -21,22 +32,44 @@ namespace dquag {
 struct StreamVerdict;  // core/streaming_validator.h
 
 struct MonitorOptions {
-  /// EWMA smoothing factor in (0, 1]; 1 = no smoothing.
+  /// EWMA decay per `ewma_reference_rows` rows, in (0, 1]; 1 = no memory
+  /// beyond the reference window. The per-ROW decay is derived as
+  /// (1 - ewma_alpha)^(1 / ewma_reference_rows), so a 300-row batch moves
+  /// the smoothed rate exactly as much as 300 single-row observations.
   double ewma_alpha = 0.3;
+  /// Row count over which `ewma_alpha` of the old state decays away.
+  int64_t ewma_reference_rows = 300;
   /// Alarm level as a multiple of the pipeline's batch cutoff. 1.0 alarms
   /// exactly at the cutoff.
   double alarm_multiplier = 1.0;
-  /// Batches observed before alarms may fire (EWMA warm-up).
-  int64_t warmup_batches = 3;
+  /// Rows observed before alarms / drift verdicts may fire (EWMA warm-up).
+  /// Row-based, not batch-based, so warm-up is grouping-invariant too.
+  int64_t warmup_rows = 900;
+  /// Bound on the observation history ring. Aggregates (DirtyBatchRate,
+  /// batch_index, rows_observed) use rolling counters and stay exact after
+  /// old observations are trimmed.
+  int64_t history_capacity = 4096;
+  /// Trailing row window for per-column drift rates.
+  int64_t drift_window_rows = 4096;
+  /// A column drifts when its windowed suspect rate exceeds the training
+  /// profile's clean suspect rate by more than this absolute shift.
+  double column_drift_threshold = 0.02;
 };
 
-/// One observed batch in the stream.
+/// One observed batch (or stream) in the sequence.
 struct MonitorObservation {
   int64_t batch_index = 0;
+  int64_t rows = 0;            // rows in this observation
+  int64_t rows_observed = 0;   // cumulative rows including this observation
   double flagged_fraction = 0.0;
-  double smoothed_fraction = 0.0;
+  double smoothed_fraction = 0.0;  // per-row EWMA after folding these rows
   bool batch_dirty = false;  // single-batch verdict (paper rule)
   bool alarm = false;        // sustained degradation (EWMA over cutoff)
+  /// Columns whose windowed suspect rate shifted beyond the training
+  /// profile (ascending). Empty before warm-up or without drift.
+  std::vector<int64_t> drifting_columns;
+
+  bool column_drift() const { return !drifting_columns.empty(); }
 };
 
 class QualityMonitor {
@@ -52,30 +85,87 @@ class QualityMonitor {
   /// the ValidationService, which validates in parallel before reporting).
   MonitorObservation ObserveVerdict(const BatchVerdict& verdict);
 
-  /// Folds a whole streamed-validation pass in as ONE observation. The
-  /// monitor only consumes the flagged fraction and dirty bit, both of
-  /// which the stream aggregates identically to the batch path, so this
-  /// leaves the monitor in exactly the state ObserveVerdict would.
+  /// Folds a whole streamed-validation pass in as ONE observation whose
+  /// weight is its row count: the stream's per-row flag sequence
+  /// (flagged_rows are ascending global indices) is folded row by row, so
+  /// the resulting state is bit-identical to ObserveVerdict on the
+  /// materialized table — and to observing the same rows as N chunks.
   MonitorObservation ObserveStreamVerdict(const StreamVerdict& verdict);
 
-  /// All observations so far, oldest first.
-  const std::vector<MonitorObservation>& history() const { return history_; }
+  /// Bounded ring of recent observations, oldest first (at most
+  /// options().history_capacity entries; see observation_count() for the
+  /// all-time total).
+  const std::deque<MonitorObservation>& history() const { return history_; }
 
   /// True if the last observation raised the alarm.
-  bool alarming() const;
+  bool alarming() const { return last_alarm_; }
 
-  /// Fraction of observed batches whose single-batch verdict was dirty.
+  /// Fraction of ALL observed batches whose single-batch verdict was dirty
+  /// (rolling counters: exact even after the history ring trimmed).
   double DirtyBatchRate() const;
+
+  /// All-time totals (exact across history trimming).
+  int64_t observation_count() const { return observations_; }
+  int64_t rows_observed() const { return rows_observed_; }
+  int64_t flagged_rows_observed() const { return flagged_observed_; }
+  double smoothed_fraction() const { return ewma_; }
+
+  /// Columns drifting as of the last observation (ascending).
+  const std::vector<int64_t>& drifting_columns() const {
+    return last_drifting_columns_;
+  }
+
+  /// Windowed per-column suspect rates over the trailing
+  /// min(rows_observed, drift_window_rows) rows.
+  std::vector<double> WindowColumnRates() const;
+
+  /// The per-column clean suspect-rate baseline the drift comparison uses
+  /// (the pipeline's training profile; zeros for legacy checkpoints).
+  const std::vector<double>& column_baseline() const {
+    return column_baseline_;
+  }
+
+  const MonitorOptions& options() const { return options_; }
 
   /// Clears the stream state (e.g., after retraining upstream).
   void Reset();
 
  private:
+  /// A flagged row in the trailing drift window.
+  struct FlagRecord {
+    int64_t row = 0;  // global row position across all observations
+    std::vector<int64_t> suspects;
+  };
+
+  /// Folds one observation of `rows` rows whose ascending flagged indices
+  /// are `flagged[0..flagged_count)`; `suspects[i]` points to the suspect
+  /// columns of flagged row i (parallel to `flagged`), or nullptr when
+  /// suspect attribution is unavailable for that row.
+  MonitorObservation Ingest(int64_t rows, const size_t* flagged,
+                            size_t flagged_count,
+                            const std::vector<int64_t>* const* suspects,
+                            bool batch_dirty, double flagged_fraction);
+
   const DquagPipeline* pipeline_;
   MonitorOptions options_;
-  std::vector<MonitorObservation> history_;
+  double beta_row_ = 0.0;  // per-row EWMA decay
+
+  std::deque<MonitorObservation> history_;  // bounded ring
   double ewma_ = 0.0;
   bool ewma_initialized_ = false;
+  bool last_alarm_ = false;
+  std::vector<int64_t> last_drifting_columns_;
+
+  // Rolling counters: exact across history trimming.
+  int64_t observations_ = 0;
+  int64_t dirty_observations_ = 0;
+  int64_t rows_observed_ = 0;
+  int64_t flagged_observed_ = 0;
+
+  // Trailing drift window over flagged rows.
+  std::vector<double> column_baseline_;
+  std::deque<FlagRecord> window_flags_;
+  std::vector<int64_t> window_column_counts_;
 };
 
 }  // namespace dquag

@@ -1,8 +1,19 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+
+#include "tensor/quantized.h"
 #include "util/logging.h"
 
 namespace dquag {
+
+namespace {
+
+/// Rows the drift profile is measured over; capped so Fit on a huge table
+/// does not pay a second full inference pass.
+constexpr int64_t kDriftProfileRows = 8192;
+
+}  // namespace
 
 std::vector<MinerColumn> TableToMinerColumns(const Table& table) {
   std::vector<MinerColumn> columns;
@@ -77,6 +88,94 @@ Status DquagPipeline::Fit(const Table& clean) {
                                            options_.config);
   repairer_ = std::make_unique<Repairer>(model_.get(), preprocessor_.get(),
                                          options_.config);
+
+  // 5. Drift profile: per-column suspect rates on the (known-clean)
+  //    training data, the monitor's per-column drift baseline.
+  ComputeDriftProfile(clean);
+  return Status::Ok();
+}
+
+void DquagPipeline::ComputeDriftProfile(const Table& clean) {
+  const int64_t sample_rows =
+      std::min<int64_t>(clean.num_rows(), kDriftProfileRows);
+  const Table sliced =
+      sample_rows < clean.num_rows() ? clean.SliceRows(0, sample_rows)
+                                     : Table();
+  const Table& sample = sample_rows < clean.num_rows() ? sliced : clean;
+
+  const BatchVerdict verdict = validator_->Validate(sample);
+  const int64_t columns = preprocessor_->schema().num_columns();
+  report_.column_clean_suspect_rate.assign(static_cast<size_t>(columns), 0.0);
+  for (size_t row : verdict.flagged_rows) {
+    for (int64_t c : verdict.instances[row].suspect_features) {
+      if (c >= 0 && c < columns) {
+        report_.column_clean_suspect_rate[static_cast<size_t>(c)] += 1.0;
+      }
+    }
+  }
+  for (double& rate : report_.column_clean_suspect_rate) {
+    rate /= static_cast<double>(sample_rows);
+  }
+  report_.clean_flag_rate = verdict.flagged_fraction;
+}
+
+Status DquagPipeline::FineTune(const Table& clean,
+                               const FineTuneOptions& finetune) {
+  if (!fitted()) {
+    return Status::FailedPrecondition("cannot fine-tune an unfitted pipeline");
+  }
+  if (clean.num_rows() == 0) {
+    return Status::InvalidArgument("fine-tune dataset is empty");
+  }
+  if (!(clean.schema() == preprocessor_->schema())) {
+    return Status::InvalidArgument(
+        "fine-tune dataset schema does not match the fitted schema");
+  }
+
+  // Carry the fine-tune knobs into the stored config so the checkpoint
+  // written after this FineTune reproduces it (Load + FineTune with the
+  // same options is byte-deterministic).
+  if (finetune.epochs > 0) options_.config.epochs = finetune.epochs;
+  if (finetune.seed != 0) options_.config.seed = finetune.seed;
+
+  // Warm start: the Trainer continues from the model's current weights
+  // (its constructor never re-initializes parameters) with a fresh Adam
+  // state, reusing the sharded allocation-free Fit fast path. The frozen
+  // preprocessor keeps the feature space identical to the original fit.
+  Trainer trainer(model_.get(), options_.config);
+  report_ = trainer.Fit(preprocessor_->Transform(clean));
+
+  // Truncation correction (see FineTuneOptions::stream_flag_rate): an
+  // accepted-clean buffer is missing the top `q` of the error distribution,
+  // so the calibration percentile must move up by that mass to keep the
+  // FULL-population tail at (1 - threshold_percentile).
+  if (finetune.stream_flag_rate > 0.0 && !report_.clean_errors.empty()) {
+    const double tail = 1.0 - options_.config.threshold_percentile;
+    const double q = std::min(finetune.stream_flag_rate, 1.0 - 1e-9);
+    const double corrected_percentile =
+        q >= tail ? 1.0 : 1.0 - (tail - q) / (1.0 - q);
+    report_.error_statistics.threshold =
+        Percentile(report_.clean_errors, corrected_percentile);
+  }
+  DQUAG_LOG(INFO) << "fine-tuned " << report_.epochs_run
+                  << " epochs, threshold "
+                  << report_.error_statistics.threshold;
+
+  // The int8 caches hold weights quantized BEFORE this fine-tune; drop
+  // them so the next quantized inference (or Save) re-derives from the new
+  // floats. The caller must not be serving quantized inference on THIS
+  // pipeline object concurrently — retrain controllers fine-tune a
+  // privately loaded pipeline and swap it in afterwards.
+  std::vector<QuantizedSlot> slots;
+  model_->CollectQuantizedSlots(slots);
+  for (const QuantizedSlot& slot : slots) slot.cache->Reset();
+
+  validator_ = std::make_unique<Validator>(model_.get(), preprocessor_.get(),
+                                           report_.error_statistics.threshold,
+                                           options_.config);
+  repairer_ = std::make_unique<Repairer>(model_.get(), preprocessor_.get(),
+                                         options_.config);
+  ComputeDriftProfile(clean);
   return Status::Ok();
 }
 

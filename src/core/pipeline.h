@@ -35,6 +35,28 @@ struct DquagPipelineOptions {
 /// Converts a table into miner columns (categoricals as integer codes).
 std::vector<MinerColumn> TableToMinerColumns(const Table& table);
 
+/// Knobs for DquagPipeline::FineTune.
+struct FineTuneOptions {
+  /// Optimization epochs over the fine-tune buffer (a few suffice when
+  /// warm-starting); <= 0 reuses config.epochs.
+  int64_t epochs = 5;
+  /// Seed for the fine-tune's mask/shuffle streams; 0 reuses config.seed.
+  /// Retrain controllers vary this per generation so repeated fine-tunes
+  /// see fresh noise while staying reproducible.
+  uint64_t seed = 0;
+  /// Fraction of the live stream the CURRENT model flagged while `clean`
+  /// was collected. An accepted-clean buffer is right-truncated — the
+  /// flagged tail of the error distribution is excluded by construction —
+  /// so recalibrating the threshold at config.threshold_percentile over
+  /// buffer errors over-tightens it by exactly that missing mass. FineTune
+  /// corrects the percentile for the truncation: with target tail mass
+  /// (1 - percentile) and truncated mass q, the buffer percentile becomes
+  /// 1 - max(0, (1-p) - q) / (1 - q) — the buffer's max error once the
+  /// stream flags more than the target tail. 0 (the default) disables the
+  /// correction, for fine-tuning on an untruncated clean table.
+  double stream_flag_rate = 0.0;
+};
+
 class DquagPipeline {
  public:
   explicit DquagPipeline(DquagPipelineOptions options = {});
@@ -46,6 +68,15 @@ class DquagPipeline {
 
   /// Phase 1: trains on the clean table. Must be called exactly once.
   Status Fit(const Table& clean);
+
+  /// Incremental fine-tune on an already-fitted pipeline: continues
+  /// training from the CURRENT weights (warm start) on `clean`, through
+  /// the existing preprocessor (no refit — schema and encodings are
+  /// frozen), then recalibrates the threshold, rebuilds the Phase-2
+  /// components, and recomputes the drift profile. Deterministic: the same
+  /// weights + buffer + options produce bit-identical weights and
+  /// threshold, so a Save() after FineTune is byte-reproducible.
+  Status FineTune(const Table& clean, const FineTuneOptions& options = {});
 
   /// Phase 2: validates a new batch (same schema as the training table).
   BatchVerdict Validate(const Table& batch) const;
@@ -84,6 +115,11 @@ class DquagPipeline {
   }
 
  private:
+  /// Measures the drift profile (per-column clean suspect rates + clean
+  /// flag rate) by validating a capped deterministic sample of `clean`
+  /// with the freshly built validator; lands in report_.
+  void ComputeDriftProfile(const Table& clean);
+
   DquagPipelineOptions options_;
   // unique_ptr keeps the address stable across pipeline moves — validator_
   // and repairer_ hold raw pointers to it.

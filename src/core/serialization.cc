@@ -33,6 +33,9 @@ namespace {
 constexpr uint64_t kMagic = 0x4741514400000001ULL;  // "DQAG" + version 1
 // "DQQ8" + version 1: start of the optional quantized-weights section.
 constexpr uint64_t kQuantSectionMagic = 0x3851514400000001ULL;
+// "DQDP" + version 1: start of the optional drift-profile section (the
+// monitor's per-column clean suspect-rate baseline).
+constexpr uint64_t kDriftSectionMagic = 0x5044514400000001ULL;
 
 void WriteConfig(BinaryWriter& w, const DquagConfig& config) {
   w.WriteI64(static_cast<int64_t>(config.encoder.kind));
@@ -192,6 +195,13 @@ Status DquagPipeline::Save(const std::string& path) const {
     w.WriteString(std::string(reinterpret_cast<const char*>(qw.data.data()),
                               qw.data.size()));
   }
+
+  // Drift profile, so a loaded service's monitor starts from the same
+  // per-column baseline the training run measured.
+  w.WriteU64(kDriftSectionMagic);
+  w.WriteU64(report_.column_clean_suspect_rate.size());
+  for (double rate : report_.column_clean_suspect_rate) w.WriteDouble(rate);
+  w.WriteDouble(report_.clean_flag_rate);
   return w.SaveToFile(path);
 }
 
@@ -383,6 +393,35 @@ StatusOr<DquagPipeline> DquagPipeline::LoadFromBuffer(std::string buffer) {
       qw.data.assign(p, p + bytes.size());
       slot.cache->Install(std::move(qw));
     }
+  }
+
+  // Optional drift-profile section. Checkpoints written before it existed
+  // end here; their monitors fall back to an all-zero baseline.
+  if (!r.AtEnd()) {
+    DQUAG_ASSIGN_OR_RETURN(uint64_t drift_magic, r.ReadU64());
+    if (drift_magic != kDriftSectionMagic) {
+      return Status::InvalidArgument("checkpoint: bad drift-section tag");
+    }
+    DQUAG_ASSIGN_OR_RETURN(uint64_t profile_columns, r.ReadU64());
+    if (profile_columns != static_cast<uint64_t>(num_columns)) {
+      return Status::InvalidArgument(
+          "checkpoint drift-profile column count mismatch");
+    }
+    pipeline.report_.column_clean_suspect_rate.resize(profile_columns);
+    for (uint64_t c = 0; c < profile_columns; ++c) {
+      DQUAG_ASSIGN_OR_RETURN(double rate, r.ReadDouble());
+      if (!std::isfinite(rate) || rate < 0.0 || rate > 1.0) {
+        return Status::InvalidArgument(
+            "checkpoint: drift-profile rate out of [0, 1]");
+      }
+      pipeline.report_.column_clean_suspect_rate[c] = rate;
+    }
+    DQUAG_ASSIGN_OR_RETURN(double flag_rate, r.ReadDouble());
+    if (!std::isfinite(flag_rate) || flag_rate < 0.0 || flag_rate > 1.0) {
+      return Status::InvalidArgument(
+          "checkpoint: clean flag rate out of [0, 1]");
+    }
+    pipeline.report_.clean_flag_rate = flag_rate;
   }
 
   pipeline.report_.error_statistics = stats;

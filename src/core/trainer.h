@@ -21,6 +21,14 @@ struct TrainingReport {
   std::vector<double> clean_errors;        // final per-instance errors
   ErrorStatistics error_statistics;        // incl. e_threshold
   int64_t epochs_run = 0;
+  /// Drift profile: per-schema-column rate at which CLEAN rows were flagged
+  /// with that column suspect, measured right after fitting (the monitor's
+  /// per-column drift baseline). Empty for checkpoints predating the
+  /// profile.
+  std::vector<double> column_clean_suspect_rate;
+  /// Fraction of clean rows flagged at the fitted threshold (by
+  /// construction near 1 - threshold_percentile).
+  double clean_flag_rate = 0.0;
 };
 
 /// Random-access provider of preprocessed training rows. Fit() never sees

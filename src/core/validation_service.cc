@@ -132,7 +132,11 @@ StatusOr<StreamVerdict> ValidationService::RepairStream(
 }
 
 MonitorObservation ValidationService::Observe(const Table& batch) {
-  const BatchVerdict verdict = Validate(batch);
+  return ObserveVerdict(Validate(batch));
+}
+
+MonitorObservation ValidationService::ObserveVerdict(
+    const BatchVerdict& verdict) const {
   std::lock_guard<std::mutex> lock(monitor_mutex_);
   return monitor_.ObserveVerdict(verdict);
 }
@@ -152,7 +156,19 @@ bool ValidationService::alarming() const {
 
 std::vector<MonitorObservation> ValidationService::monitor_history() const {
   std::lock_guard<std::mutex> lock(monitor_mutex_);
-  return monitor_.history();
+  return {monitor_.history().begin(), monitor_.history().end()};
+}
+
+ValidationService::MonitorSnapshot ValidationService::monitor_snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(monitor_mutex_);
+  MonitorSnapshot s;
+  s.observations = monitor_.observation_count();
+  s.rows_observed = monitor_.rows_observed();
+  s.smoothed_fraction = monitor_.smoothed_fraction();
+  s.alarming = monitor_.alarming();
+  s.drifting_columns = monitor_.drifting_columns();
+  return s;
 }
 
 ValidationServiceStats ValidationService::stats() const {

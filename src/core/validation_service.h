@@ -116,16 +116,34 @@ class ValidationService {
   MonitorObservation Observe(const Table& batch);
 
   /// Streaming Observe: validates the stream out-of-core, then feeds the
-  /// whole-stream flagged fraction to the monitor as ONE observation —
-  /// identical monitor state to Observe on the materialized table.
+  /// whole-stream per-row flag sequence to the monitor as ONE row-weighted
+  /// observation — identical monitor state to Observe on the materialized
+  /// table (and to observing the same rows as N chunks).
   StatusOr<MonitorObservation> ObserveStream(TableChunkReader& reader);
+
+  /// Feeds an already-computed verdict into the monitor without
+  /// re-validating. Const (the monitor is internally synchronized) so the
+  /// serving daemon can feed verdicts through its
+  /// shared_ptr<const ValidationService> without double inference.
+  MonitorObservation ObserveVerdict(const BatchVerdict& verdict) const;
 
   /// True if the monitor's last observation raised the sustained-degradation
   /// alarm.
   bool alarming() const;
 
-  /// Snapshot of the monitor's observation history, oldest first.
+  /// Snapshot of the monitor's recent observation ring, oldest first (at
+  /// most MonitorOptions::history_capacity entries).
   std::vector<MonitorObservation> monitor_history() const;
+
+  /// Point-in-time monitor aggregates for stats reporting.
+  struct MonitorSnapshot {
+    int64_t observations = 0;
+    int64_t rows_observed = 0;
+    double smoothed_fraction = 0.0;
+    bool alarming = false;
+    std::vector<int64_t> drifting_columns;
+  };
+  MonitorSnapshot monitor_snapshot() const;
 
   ValidationServiceStats stats() const;
 
@@ -142,7 +160,7 @@ class ValidationService {
   ValidationServiceOptions options_;
 
   mutable std::mutex monitor_mutex_;
-  QualityMonitor monitor_;  // guarded by monitor_mutex_
+  mutable QualityMonitor monitor_;  // guarded by monitor_mutex_
 
   mutable std::atomic<int64_t> batches_validated_{0};
   mutable std::atomic<int64_t> rows_validated_{0};

@@ -191,13 +191,43 @@ StatusOr<TenantCounters*> ModelRegistry::counters(
   return &it->second->counters;
 }
 
+StatusOr<std::string> ModelRegistry::DeployedPath(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(tenant);
+  if (it == entries_.end()) {
+    return Status::NotFound("no model deployed for tenant '" + tenant +
+                            "'");
+  }
+  return it->second->path;
+}
+
+StatusOr<DeployOptions> ModelRegistry::GetDeployOptions(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(tenant);
+  if (it == entries_.end()) {
+    return Status::NotFound("no model deployed for tenant '" + tenant +
+                            "'");
+  }
+  return it->second->deploy;
+}
+
 std::vector<TenantStatsSnapshot> ModelRegistry::StatsSnapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<TenantStatsSnapshot> stats;
   stats.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
-    stats.push_back(
-        entry->counters.Snapshot(name, entry->service != nullptr));
+    TenantStatsSnapshot s =
+        entry->counters.Snapshot(name, entry->service != nullptr);
+    if (entry->service != nullptr) {
+      const auto monitor = entry->service->monitor_snapshot();
+      s.monitor_rows = monitor.rows_observed;
+      s.drifting_columns =
+          static_cast<int64_t>(monitor.drifting_columns.size());
+      s.alarming = monitor.alarming;
+    }
+    stats.push_back(std::move(s));
   }
   return stats;
 }

@@ -122,7 +122,17 @@ class ModelRegistry {
   /// destroyed, only made non-resident.
   StatusOr<TenantCounters*> counters(const std::string& tenant);
 
-  /// Snapshot of every tenant's stats, sorted by tenant key.
+  /// The checkpoint path currently deployed for `tenant` (NotFound if
+  /// unknown). The retrain loop seeds its fine-tune from this.
+  StatusOr<std::string> DeployedPath(const std::string& tenant) const;
+
+  /// The per-tenant deploy options currently in effect (NotFound if
+  /// unknown), so a retrain swap preserves e.g. quantized serving.
+  StatusOr<DeployOptions> GetDeployOptions(const std::string& tenant) const;
+
+  /// Snapshot of every tenant's stats, sorted by tenant key. Resident
+  /// entries also report their service's live monitor state (rows folded,
+  /// drifting-column count, alarm).
   std::vector<TenantStatsSnapshot> StatsSnapshot() const;
 
   /// Tenant keys, sorted.

@@ -128,6 +128,10 @@ Status ServeDaemon::Start() {
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   acceptor_ = std::thread([this] { AcceptLoop(); });
+  if (options_.auto_retrain) {
+    retrain_stop_.store(false, std::memory_order_release);
+    retrain_thread_ = std::thread([this] { RetrainWorker(); });
+  }
   return Status::Ok();
 }
 
@@ -151,6 +155,17 @@ void ServeDaemon::Stop() {
       ::close(connection->fd);
     }
     connections_.clear();
+  }
+  if (retrain_thread_.joinable()) {
+    // After the connection joins, so no request thread can enqueue again.
+    // An in-flight retrain finishes (its swap is harmless post-shutdown);
+    // queued tenants are simply dropped.
+    {
+      std::lock_guard<std::mutex> lock(retrain_mutex_);
+      retrain_stop_.store(true, std::memory_order_release);
+    }
+    retrain_cv_.notify_all();
+    retrain_thread_.join();
   }
   {
     // Set under the mutex so a concurrent WaitForShutdown cannot check the
@@ -376,6 +391,7 @@ WireResponse ServeDaemon::HandleValidate(const WireRequest& request,
     }
     flagged_rows = static_cast<int64_t>(verdict->flagged_rows.size());
     dirty = verdict->is_dirty;
+    ObserveForRetrain(request.tenant, **service, *table, *verdict);
     response.body = EncodeVerdict(ToWireVerdict(*verdict,
                                                 table->num_rows()));
   }
@@ -444,8 +460,87 @@ WireResponse ServeDaemon::HandleStats(const WireRequest& request) {
   }
   WireResponse response;
   response.request_id = request.request_id;
-  response.body = EncodeStats(stats);
+  // The v3 trailer only goes to clients that announced v3 — a v1/v2
+  // decoder would reject the trailing bytes.
+  response.body = EncodeStats(stats, /*extended=*/request.version >= 3);
   return response;
+}
+
+void ServeDaemon::ObserveForRetrain(const std::string& tenant,
+                                    const ValidationService& service,
+                                    const Table& batch,
+                                    const BatchVerdict& verdict) {
+  if (!options_.auto_retrain) return;
+  const MonitorObservation observation = service.ObserveVerdict(verdict);
+  RetrainController* controller = ControllerFor(tenant);
+  if (controller == nullptr) return;
+  controller->ObserveBatch(batch, verdict, observation);
+  if (!controller->ShouldRetrain()) return;
+  std::lock_guard<std::mutex> lock(retrain_mutex_);
+  for (const std::string& queued : retrain_queue_) {
+    if (queued == tenant) return;  // one pending retrain per tenant
+  }
+  retrain_queue_.push_back(tenant);
+  retrain_cv_.notify_one();
+}
+
+RetrainController* ServeDaemon::ControllerFor(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(retrain_mutex_);
+  auto it = controllers_.find(tenant);
+  if (it != controllers_.end()) return it->second.get();
+  auto path = registry_.DeployedPath(tenant);
+  if (!path.ok()) return nullptr;
+  auto controller = std::make_unique<RetrainController>(
+      *path, options_.retrain,
+      // The zero-drop swap: re-deploy through the registry, preserving the
+      // tenant's deploy options (e.g. quantized serving). A failed load
+      // inside Deploy leaves the old model serving.
+      [this, tenant](const std::string& new_path) {
+        auto deploy = registry_.GetDeployOptions(tenant);
+        return registry_.Deploy(tenant, new_path,
+                                deploy.ok() ? *deploy : DeployOptions{});
+      });
+  RetrainController* raw = controller.get();
+  controllers_[tenant] = std::move(controller);
+  return raw;
+}
+
+void ServeDaemon::RetrainWorker() {
+  for (;;) {
+    RetrainController* controller = nullptr;
+    std::string tenant;
+    {
+      std::unique_lock<std::mutex> lock(retrain_mutex_);
+      retrain_cv_.wait(lock, [this] {
+        return retrain_stop_.load(std::memory_order_acquire) ||
+               !retrain_queue_.empty();
+      });
+      if (retrain_stop_.load(std::memory_order_acquire)) return;
+      tenant = std::move(retrain_queue_.front());
+      retrain_queue_.pop_front();
+      auto it = controllers_.find(tenant);
+      if (it == controllers_.end()) continue;
+      controller = it->second.get();  // never erased; stays valid unlocked
+    }
+    // Re-check under current state: drift may have cleared (or a swap
+    // landed) between enqueue and dequeue.
+    if (!controller->ShouldRetrain()) continue;
+    const auto result = controller->RetrainAndSwap();
+    if (auto counters = registry_.counters(tenant); counters.ok()) {
+      (*counters)->RecordRetrain(result.ok());
+    }
+  }
+}
+
+StatusOr<RetrainController::Snapshot> ServeDaemon::RetrainSnapshot(
+    const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(retrain_mutex_);
+  auto it = controllers_.find(tenant);
+  if (it == controllers_.end()) {
+    return Status::NotFound("no retrain controller for tenant '" + tenant +
+                            "'");
+  }
+  return it->second->snapshot();
 }
 
 }  // namespace dquag

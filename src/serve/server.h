@@ -27,12 +27,15 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/retrain_controller.h"
 #include "serve/model_registry.h"
 #include "serve/wire.h"
 #include "util/stopwatch.h"
@@ -53,6 +56,14 @@ struct ServeOptions {
   /// Idle BETWEEN frames also counts — clients are expected to reconnect.
   int64_t io_timeout_ms = 30000;
   ModelRegistryOptions registry;
+  /// Close the loop: feed every validate verdict to the tenant's quality
+  /// monitor and, on sustained drift, fine-tune + hot-swap in the
+  /// background (core/retrain_controller.h). Request threads only observe
+  /// and enqueue; the retrain itself runs on one dedicated thread, and any
+  /// failure leaves the old model serving.
+  bool auto_retrain = false;
+  /// Knobs for the per-tenant RetrainControllers when auto_retrain is on.
+  RetrainOptions retrain;
 };
 
 class ServeDaemon {
@@ -93,6 +104,11 @@ class ServeDaemon {
     return connections_rejected_.load(std::memory_order_relaxed);
   }
 
+  /// Snapshot of `tenant`'s retrain controller, or nullopt when
+  /// auto-retrain is off / no controller exists yet. For tests and stats.
+  StatusOr<RetrainController::Snapshot> RetrainSnapshot(
+      const std::string& tenant);
+
  private:
   struct Connection {
     int fd = -1;
@@ -114,6 +130,23 @@ class ServeDaemon {
   /// holds connections_mutex_.
   void ReapFinishedLocked();
 
+  /// Feeds one validate verdict into the continuous pipeline: monitor
+  /// observation, accepted-clean buffering, and (when drift is sustained)
+  /// enqueueing the tenant for the retrain worker. Cheap; runs on the
+  /// request thread. No-op unless auto_retrain is on.
+  void ObserveForRetrain(const std::string& tenant,
+                         const ValidationService& service,
+                         const Table& batch, const BatchVerdict& verdict);
+
+  /// Lazily creates the tenant's controller, seeded with the registry's
+  /// deployed checkpoint path and a swap callback that re-deploys through
+  /// the registry's zero-drop hot swap (preserving the deploy options).
+  RetrainController* ControllerFor(const std::string& tenant);
+
+  /// The single background retrain thread: drains the queue, re-checks the
+  /// trigger, and runs RetrainAndSwap — never on a connection thread.
+  void RetrainWorker();
+
   ServeOptions options_;
   ModelRegistry registry_;
 
@@ -130,6 +163,14 @@ class ServeDaemon {
   std::atomic<bool> shutdown_requested_{false};
   std::mutex shutdown_mutex_;
   std::condition_variable shutdown_cv_;
+
+  // --- Continuous pipeline (auto_retrain) ---
+  std::mutex retrain_mutex_;
+  std::map<std::string, std::unique_ptr<RetrainController>> controllers_;
+  std::deque<std::string> retrain_queue_;  // tenants awaiting a retrain
+  std::condition_variable retrain_cv_;
+  std::thread retrain_thread_;
+  std::atomic<bool> retrain_stop_{false};
 };
 
 }  // namespace dquag

@@ -43,6 +43,12 @@ struct TenantStatsSnapshot {
   int64_t evictions = 0;  // LRU resident-set evictions
   int64_t swaps = 0;      // hot re-deploys of a resident model
   LatencySnapshot latency;
+  // Continuous-pipeline extension (wire v3+; zero when absent/disabled).
+  int64_t retrains = 0;          // successful drift-triggered retrains
+  int64_t retrain_failures = 0;  // failed retrain attempts (old model kept)
+  int64_t monitor_rows = 0;      // rows folded into the quality monitor
+  int64_t drifting_columns = 0;  // columns drifting at the last observation
+  bool alarming = false;         // monitor's sustained-degradation alarm
 };
 
 /// Lock-free mutable counters for one tenant; every mutator is a relaxed
@@ -68,6 +74,10 @@ class TenantCounters {
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   void RecordSwap() { swaps_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordRetrain(bool ok) {
+    (ok ? retrains_ : retrain_failures_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
 
   const PercentileCounter& latency() const { return latency_us_; }
 
@@ -91,6 +101,8 @@ class TenantCounters {
     s.latency.p99_us = static_cast<int64_t>(latency_us_.Percentile(0.99));
     s.latency.p999_us = static_cast<int64_t>(latency_us_.Percentile(0.999));
     s.latency.max_us = static_cast<int64_t>(latency_us_.max());
+    s.retrains = retrains_.load(std::memory_order_relaxed);
+    s.retrain_failures = retrain_failures_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -104,18 +116,23 @@ class TenantCounters {
   std::atomic<int64_t> loads_{0};
   std::atomic<int64_t> evictions_{0};
   std::atomic<int64_t> swaps_{0};
+  std::atomic<int64_t> retrains_{0};
+  std::atomic<int64_t> retrain_failures_{0};
   PercentileCounter latency_us_;
 };
 
-/// The one human-readable stats schema, key=value pairs on one line.
+/// The one human-readable stats schema, key=value pairs on one line. The
+/// continuous-pipeline keys append at the end so line-prefix consumers of
+/// the original schema keep parsing.
 inline std::string FormatStatsLine(const TenantStatsSnapshot& s) {
-  char buffer[512];
+  char buffer[768];
   std::snprintf(
       buffer, sizeof(buffer),
       "tenant=%s resident=%d ok=%lld rejected=%lld failed=%lld "
       "rows=%lld flagged=%lld dirty=%lld loads=%lld evictions=%lld "
       "swaps=%lld lat_n=%lld p50_us=%lld p99_us=%lld p999_us=%lld "
-      "max_us=%lld",
+      "max_us=%lld retrains=%lld retrain_failures=%lld monitor_rows=%lld "
+      "drifting=%lld alarming=%d",
       s.tenant.c_str(), s.resident ? 1 : 0,
       static_cast<long long>(s.requests_ok),
       static_cast<long long>(s.requests_rejected),
@@ -130,7 +147,11 @@ inline std::string FormatStatsLine(const TenantStatsSnapshot& s) {
       static_cast<long long>(s.latency.p50_us),
       static_cast<long long>(s.latency.p99_us),
       static_cast<long long>(s.latency.p999_us),
-      static_cast<long long>(s.latency.max_us));
+      static_cast<long long>(s.latency.max_us),
+      static_cast<long long>(s.retrains),
+      static_cast<long long>(s.retrain_failures),
+      static_cast<long long>(s.monitor_rows),
+      static_cast<long long>(s.drifting_columns), s.alarming ? 1 : 0);
   return std::string(buffer);
 }
 

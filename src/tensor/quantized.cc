@@ -58,29 +58,40 @@ void PackQuantizedWeight(QuantizedWeight& qw) {
 
 const QuantizedWeight& QuantizedWeightCache::GetOrDerive(
     const Tensor& w) const {
-  std::call_once(once_, [&] {
-    q_ = QuantizeWeight(w);
-    PackQuantizedWeight(q_);
-    populated_.store(true, std::memory_order_release);
-  });
+  // Double-checked populate: the release store pairs with the acquire load
+  // so a reader that sees populated_ sees a fully built q_. Unlike
+  // call_once this supports Reset() after a fine-tune mutates the floats.
+  if (!populated_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!populated_.load(std::memory_order_relaxed)) {
+      q_ = QuantizeWeight(w);
+      PackQuantizedWeight(q_);
+      populated_.store(true, std::memory_order_release);
+    }
+  }
   DQUAG_CHECK_EQ(q_.in, w.dim(0));
   DQUAG_CHECK_EQ(q_.out, w.dim(1));
   return q_;
 }
 
 bool QuantizedWeightCache::Install(QuantizedWeight qw) const {
-  bool installed = false;
-  std::call_once(once_, [&] {
-    q_ = std::move(qw);
-    if (q_.packed.empty()) PackQuantizedWeight(q_);
-    populated_.store(true, std::memory_order_release);
-    installed = true;
-  });
-  return installed;
+  if (populated_.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (populated_.load(std::memory_order_relaxed)) return false;
+  q_ = std::move(qw);
+  if (q_.packed.empty()) PackQuantizedWeight(q_);
+  populated_.store(true, std::memory_order_release);
+  return true;
 }
 
 bool QuantizedWeightCache::populated() const {
   return populated_.load(std::memory_order_acquire);
+}
+
+void QuantizedWeightCache::Reset() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  populated_.store(false, std::memory_order_release);
+  q_ = QuantizedWeight{};
 }
 
 }  // namespace dquag

@@ -71,8 +71,16 @@ class QuantizedWeightCache {
 
   bool populated() const;
 
+  /// Drops the cached weight so the next GetOrDerive re-derives from the
+  /// (presumably updated) float tensor. Used after an in-place fine-tune.
+  /// The caller must guarantee no concurrent GetOrDerive caller is still
+  /// USING a previously returned reference — reset a pipeline only while
+  /// it is private to one thread (the retrain path), never while it serves
+  /// quantized inference.
+  void Reset() const;
+
  private:
-  mutable std::once_flag once_;
+  mutable std::mutex mutex_;
   mutable QuantizedWeight q_;
   mutable std::atomic<bool> populated_{false};
 };

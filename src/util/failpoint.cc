@@ -66,10 +66,11 @@ bool KnownSite(const std::string& site) {
 
 const std::vector<std::string>& AllSites() {
   static const std::vector<std::string>& sites = *new std::vector<std::string>{
-      kBinaryIoSave,  kBinaryIoLoad, kColumnarWrite,      kMmapOpen,
-      kWireSend,      kWireRecv,     kRegistryLoad,       kThreadPoolDispatch,
-      kServeDispatch, kAtomicOpen,   kAtomicWrite,        kAtomicFsync,
-      kAtomicRename,  kAtomicDirsync};
+      kBinaryIoSave,   kBinaryIoLoad, kColumnarWrite,      kMmapOpen,
+      kWireSend,       kWireRecv,     kRegistryLoad,       kThreadPoolDispatch,
+      kServeDispatch,  kRetrainLoad,  kRetrainFineTune,    kRetrainSave,
+      kRetrainSwap,    kAtomicOpen,   kAtomicWrite,        kAtomicFsync,
+      kAtomicRename,   kAtomicDirsync};
   return sites;
 }
 

@@ -55,6 +55,13 @@ inline constexpr const char* kServeDispatch = "serve.dispatch";
 // Steps of the AtomicFileWriter commit protocol, in order. The
 // kill-at-every-failpoint test crashes a child at each one and asserts the
 // destination file is never torn.
+// Steps of the RetrainController's retrain -> swap protocol, in order. The
+// chaos drift suite arms each one and asserts the old model keeps serving
+// and the daemon survives any failure mid-protocol.
+inline constexpr const char* kRetrainLoad = "retrain.load";
+inline constexpr const char* kRetrainFineTune = "retrain.finetune";
+inline constexpr const char* kRetrainSave = "retrain.save";
+inline constexpr const char* kRetrainSwap = "retrain.swap";
 inline constexpr const char* kAtomicOpen = "atomic_file.open";
 inline constexpr const char* kAtomicWrite = "atomic_file.write";
 inline constexpr const char* kAtomicFsync = "atomic_file.fsync";

@@ -74,19 +74,23 @@ TEST_F(CheckpointFuzzTest, IntactCorpusLoads) {
 
 // Every possible truncation point. Each must come back as a Status; a
 // crash, abort, or ASan fault here means a reader consumed a length it
-// never had. One prefix length is special: cutting exactly at the start of
-// the optional quantized section yields a well-formed legacy checkpoint,
-// which loads by design.
+// never had. Two prefix lengths are special: cutting exactly at the start
+// of an optional trailing section (quantized weights, drift profile)
+// yields a well-formed older-format checkpoint, which loads by design.
 TEST_F(CheckpointFuzzTest, TruncationAtEveryPrefixFailsCleanly) {
-  // kQuantSectionMagic as little-endian file bytes; the section is the
-  // last thing Save writes.
-  const std::string magic("\x01\x00\x00\x00\x44\x51\x51\x38", 8);
-  const size_t legacy_len = corpus_->rfind(magic);
-  ASSERT_NE(legacy_len, std::string::npos);
+  // The optional-section magics as little-endian file bytes, in the order
+  // Save writes them (quantized weights, then the drift profile).
+  const std::string quant_magic("\x01\x00\x00\x00\x44\x51\x51\x38", 8);
+  const std::string drift_magic("\x01\x00\x00\x00\x44\x51\x44\x50", 8);
+  const size_t quant_len = corpus_->rfind(quant_magic);
+  const size_t drift_len = corpus_->rfind(drift_magic);
+  ASSERT_NE(quant_len, std::string::npos);
+  ASSERT_NE(drift_len, std::string::npos);
+  ASSERT_LT(quant_len, drift_len);
   for (size_t len = 0; len < corpus_->size(); ++len) {
     const Status status = TryLoad(corpus_->substr(0, len));
-    if (len == legacy_len) {
-      EXPECT_TRUE(status.ok()) << "legacy-format prefix must load";
+    if (len == quant_len || len == drift_len) {
+      EXPECT_TRUE(status.ok()) << "older-format prefix must load";
     } else {
       EXPECT_FALSE(status.ok()) << "truncated to " << len << " of "
                                 << corpus_->size() << " bytes loaded anyway";

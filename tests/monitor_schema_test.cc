@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/monitor.h"
+#include "core/streaming_validator.h"
 #include "data/batch_sampler.h"
 #include "data/error_injector.h"
 #include "data/generators.h"
@@ -129,7 +132,7 @@ TEST_F(MonitorTest, EwmaSmoothesSingleSpike) {
   MonitorOptions options;
   options.ewma_alpha = 0.1;       // heavy smoothing: one spike cannot alarm
   options.alarm_multiplier = 2.0;  // alarm reserved for sustained shift
-  options.warmup_batches = 2;
+  options.warmup_rows = 600;
   QualityMonitor monitor(pipeline_, options);
   Rng rng(4);
   ErrorInjector injector(5);
@@ -143,6 +146,121 @@ TEST_F(MonitorTest, EwmaSmoothesSingleSpike) {
   MonitorObservation spike = monitor.Observe(SampleBatch(dirty, 300, rng));
   EXPECT_TRUE(spike.batch_dirty);
   EXPECT_FALSE(spike.alarm);
+}
+
+// Regression: history_ used to grow one entry per observation forever.
+// 100k observations must stay within the ring capacity while every rolling
+// aggregate remains exact.
+TEST_F(MonitorTest, HistoryBoundedWithExactAggregates) {
+  MonitorOptions options;
+  options.history_capacity = 64;
+  QualityMonitor monitor(pipeline_, options);
+
+  BatchVerdict clean_verdict;
+  clean_verdict.instances.resize(10);
+  BatchVerdict dirty_verdict = clean_verdict;
+  dirty_verdict.is_dirty = true;
+  dirty_verdict.flagged_rows = {3};
+  dirty_verdict.instances[3].flagged = true;
+  dirty_verdict.flagged_fraction = 0.1;
+
+  for (int i = 0; i < 100000; ++i) {
+    monitor.ObserveVerdict(i % 4 == 0 ? dirty_verdict : clean_verdict);
+  }
+  EXPECT_EQ(monitor.history().size(), 64u);
+  EXPECT_EQ(monitor.observation_count(), 100000);
+  EXPECT_EQ(monitor.rows_observed(), 1000000);
+  EXPECT_EQ(monitor.flagged_rows_observed(), 25000);
+  EXPECT_DOUBLE_EQ(monitor.DirtyBatchRate(), 0.25);
+  // batch_index keeps counting past the trim.
+  EXPECT_EQ(monitor.history().back().batch_index, 99999);
+  EXPECT_EQ(monitor.history().front().batch_index, 100000 - 64);
+}
+
+// Regression: a streamed verdict used to fold in as ONE batch-weighted
+// observation regardless of row count. The monitor state must now be
+// bit-identical whether the same rows arrive as N chunk verdicts or as a
+// single stream verdict.
+TEST_F(MonitorTest, ChunkedObservationsMatchOneStream) {
+  std::vector<size_t> flagged;
+  for (size_t r = 7; r < 1200; r += 53) flagged.push_back(r);
+
+  QualityMonitor chunked(pipeline_);
+  for (size_t chunk = 0; chunk < 12; ++chunk) {
+    BatchVerdict verdict;
+    verdict.instances.resize(100);
+    for (size_t r : flagged) {
+      if (r >= chunk * 100 && r < (chunk + 1) * 100) {
+        verdict.flagged_rows.push_back(r - chunk * 100);
+        verdict.instances[r - chunk * 100].flagged = true;
+      }
+    }
+    chunked.ObserveVerdict(verdict);
+  }
+
+  QualityMonitor whole(pipeline_);
+  StreamVerdict stream;
+  stream.total_rows = 1200;
+  stream.flagged_rows = flagged;
+  stream.flagged_instances.resize(flagged.size());
+  whole.ObserveStreamVerdict(stream);
+
+  EXPECT_EQ(chunked.smoothed_fraction(), whole.smoothed_fraction());
+  EXPECT_EQ(chunked.rows_observed(), whole.rows_observed());
+  EXPECT_EQ(chunked.flagged_rows_observed(),
+            whole.flagged_rows_observed());
+  EXPECT_EQ(chunked.alarming(), whole.alarming());
+  EXPECT_EQ(chunked.WindowColumnRates(), whole.WindowColumnRates());
+}
+
+// A million-row stream must move the EWMA like a million rows, not like
+// one small batch: after a heavily-flagged long stream the smoothed rate
+// tracks the stream's flag rate, which the old one-observation fold could
+// never reach.
+TEST_F(MonitorTest, StreamObservationIsRowWeighted) {
+  QualityMonitor monitor(pipeline_);
+  StreamVerdict stream;
+  stream.total_rows = 100000;
+  for (size_t r = 0; r < 100000; r += 2) stream.flagged_rows.push_back(r);
+  stream.flagged_instances.resize(stream.flagged_rows.size());
+  stream.flagged_fraction = 0.5;
+  stream.is_dirty = true;
+  MonitorObservation observation = monitor.ObserveStreamVerdict(stream);
+  EXPECT_EQ(observation.rows, 100000);
+  EXPECT_NEAR(observation.smoothed_fraction, 0.5, 0.05);
+  EXPECT_TRUE(observation.alarm);
+}
+
+// Per-column drift: sustained suspect activity on one column beyond its
+// training-profile baseline flags exactly that column, and the trailing
+// window lets the verdict clear once the stream is clean again.
+TEST_F(MonitorTest, PerColumnDriftDetectsAndClears) {
+  MonitorOptions options;
+  options.warmup_rows = 200;
+  options.drift_window_rows = 1000;
+  options.column_drift_threshold = 0.05;
+  QualityMonitor monitor(pipeline_, options);
+
+  BatchVerdict drifting;
+  drifting.instances.resize(100);
+  for (size_t r = 0; r < 100; r += 5) {
+    drifting.flagged_rows.push_back(r);
+    drifting.instances[r].flagged = true;
+    drifting.instances[r].suspect_features = {2};
+  }
+  MonitorObservation last;
+  for (int i = 0; i < 10; ++i) last = monitor.ObserveVerdict(drifting);
+  ASSERT_TRUE(last.column_drift());
+  EXPECT_EQ(last.drifting_columns, (std::vector<int64_t>{2}));
+  EXPECT_EQ(monitor.drifting_columns(), (std::vector<int64_t>{2}));
+  EXPECT_GT(monitor.WindowColumnRates()[2], 0.15);
+
+  // A clean stretch longer than the window flushes the drift records.
+  BatchVerdict clean_verdict;
+  clean_verdict.instances.resize(100);
+  for (int i = 0; i < 12; ++i) last = monitor.ObserveVerdict(clean_verdict);
+  EXPECT_FALSE(last.column_drift());
+  EXPECT_DOUBLE_EQ(monitor.WindowColumnRates()[2], 0.0);
 }
 
 TEST_F(MonitorTest, ResetClearsState) {

@@ -19,6 +19,11 @@
 //                   [--io-timeout-ms MS]  (disconnect stalled peers; 0=off)
 //                   [--deploy tenant=model.ckpt[,t2=m2.ckpt...]]
 //                     (append @quantized to a checkpoint for int8 serving)
+//                   [--auto-retrain [--retrain-epochs N]
+//                    [--retrain-min-rows R] [--retrain-buffer-rows B]
+//                    [--retrain-triggers K] [--retrain-cooldown-rows C]
+//                    [--retrain-seed S]]   (drift-triggered fine-tune +
+//                                           zero-drop hot swap)
 //                                                    (socket-backed daemon)
 //   dquag deploy    --port P --tenant T --checkpoint model.ckpt [--host H]
 //                   [--quantized]
@@ -527,6 +532,14 @@ int CmdServe(const Args& args) {
   options.registry.max_inflight_per_tenant = args.GetInt("max-inflight", 32);
   options.registry.service.micro_batch_rows =
       args.GetInt("micro-batch", 512);
+  options.auto_retrain = args.Has("auto-retrain");
+  options.retrain.finetune_epochs = args.GetInt("retrain-epochs", 5);
+  options.retrain.min_buffer_rows = args.GetInt("retrain-min-rows", 256);
+  options.retrain.max_buffer_rows = args.GetInt("retrain-buffer-rows", 8192);
+  options.retrain.trigger_observations = args.GetInt("retrain-triggers", 3);
+  options.retrain.cooldown_rows = args.GetInt("retrain-cooldown-rows", 0);
+  options.retrain.seed =
+      static_cast<uint64_t>(args.GetInt("retrain-seed", 0));
 
   std::vector<DeploySpecEntry> deploys;
   if (args.Has("deploy")) {
@@ -568,11 +581,12 @@ int CmdServe(const Args& args) {
                 deploy.options.quantized ? ", quantized" : "");
   }
   std::printf("dquag serve: listening on %s:%d (%zu tenants, capacity %lld,"
-              " max-inflight %lld)\n",
+              " max-inflight %lld%s)\n",
               options.listen_host.c_str(), daemon.port(), deploys.size(),
               static_cast<long long>(options.registry.max_resident),
               static_cast<long long>(
-                  options.registry.max_inflight_per_tenant));
+                  options.registry.max_inflight_per_tenant),
+              options.auto_retrain ? ", auto-retrain" : "");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSigint);
